@@ -1,0 +1,97 @@
+// THM12 + CHASE: the polynomial consistency test for databases with PDs.
+// Scales the database (rows) and the constraint set independently; the
+// runtime must stay polynomial in both. Also benches the raw Honeyman
+// chase on FD-only inputs (the [19] substrate).
+
+#include <benchmark/benchmark.h>
+
+#include "psem.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace psem;
+using namespace psem::bench;
+
+void BM_PdConsistencyVsRows(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Rng rng(42);
+    RandomFragmentedDatabase(&db, &rng, /*num_attrs=*/6, /*num_relations=*/4,
+                             rows, /*symbols_per_attr=*/rows / 2 + 2);
+    ExprArena arena;
+    std::vector<Pd> pds = {*arena.ParsePd("A0 <= A1"),
+                           *arena.ParsePd("A2 = A0+A1"),
+                           *arena.ParsePd("A3 <= A4*A5")};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(PdConsistent(&db, arena, pds)->consistent);
+  }
+  state.SetComplexityN(rows);
+}
+BENCHMARK(BM_PdConsistencyVsRows)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Complexity();
+
+void BM_PdConsistencyVsTheorySize(benchmark::State& state) {
+  int num_pds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Rng rng(43);
+    RandomFragmentedDatabase(&db, &rng, /*num_attrs=*/num_pds + 2,
+                             /*num_relations=*/4, /*rows=*/16,
+                             /*symbols_per_attr=*/8);
+    ExprArena arena;
+    Rng trng(17);
+    std::vector<Pd> pds =
+        RandomTheory(&arena, &trng, /*num_attrs=*/num_pds + 2, num_pds,
+                     /*max_ops=*/3);
+    // RandomTheory names attributes A<k>, matching the database.
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(PdConsistent(&db, arena, pds)->consistent);
+  }
+  state.SetComplexityN(num_pds);
+}
+BENCHMARK(BM_PdConsistencyVsTheorySize)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(32)->Complexity();
+
+void BM_HoneymanChase(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  Database db;
+  Rng rng(44);
+  RandomFragmentedDatabase(&db, &rng, /*num_attrs=*/8, /*num_relations=*/6,
+                           rows, /*symbols_per_attr=*/rows / 2 + 2);
+  Universe* u = &db.universe();
+  std::vector<Fd> fds;
+  for (int i = 0; i + 1 < 8; ++i) {
+    auto fd = Fd::Parse(u, "A" + std::to_string(i) + " -> A" +
+                               std::to_string(i + 1));
+    if (fd.ok()) fds.push_back(*fd);
+  }
+  for (auto _ : state) {
+    Tableau t = Tableau::Representative(db, db.universe().size());
+    ChaseResult res = ChaseWithFds(&t, fds);
+    benchmark::DoNotOptimize(res.consistent);
+  }
+  state.SetComplexityN(rows);
+}
+BENCHMARK(BM_HoneymanChase)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Complexity();
+
+void BM_NormalizeOnly(benchmark::State& state) {
+  int num_pds = static_cast<int>(state.range(0));
+  ExprArena arena;
+  Rng rng(7);
+  std::vector<Pd> pds = RandomTheory(&arena, &rng, num_pds + 2, num_pds, 4);
+  for (auto _ : state) {
+    Universe u;
+    benchmark::DoNotOptimize(NormalizePds(arena, pds, &u).ok());
+  }
+  state.SetComplexityN(num_pds);
+}
+BENCHMARK(BM_NormalizeOnly)->Arg(4)->Arg(16)->Arg(64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

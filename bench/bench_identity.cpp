@@ -1,0 +1,91 @@
+// THM10: recognizing PD identities. Compares the memoized Whitman decider
+// (polynomial time, quadratic memo) against the storage-free iterative
+// decider (the Theorem 10 observation: no results of intermediate calls
+// are stored; auxiliary space is one frame per recursion level). Reports
+// the iterative decider's peak stack depth so the O(depth) auxiliary
+// space shape is visible in the output.
+
+#include <benchmark/benchmark.h>
+
+#include "psem.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace psem;
+using namespace psem::bench;
+
+void BM_WhitmanMemoDeep(benchmark::State& state) {
+  ExprArena arena;
+  int depth = static_cast<int>(state.range(0));
+  ExprId p = DeepExpr(&arena, depth, 4, /*start_sum=*/false);
+  ExprId q = DeepExpr(&arena, depth, 4, /*start_sum=*/true);
+  for (auto _ : state) {
+    WhitmanMemo memo(&arena);  // fresh memo: measure the full decision
+    benchmark::DoNotOptimize(memo.Leq(p, q));
+  }
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_WhitmanMemoDeep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Complexity();
+
+void BM_WhitmanIterativeDeep(benchmark::State& state) {
+  ExprArena arena;
+  int depth = static_cast<int>(state.range(0));
+  ExprId p = DeepExpr(&arena, depth, 4, /*start_sum=*/false);
+  ExprId q = DeepExpr(&arena, depth, 4, /*start_sum=*/true);
+  WhitmanIterative iter(&arena);
+  WhitmanIterativeStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iter.Leq(p, q, &stats));
+  }
+  state.counters["peak_stack"] = static_cast<double>(stats.peak_stack_depth);
+  state.counters["tree_size"] = static_cast<double>(arena.TreeSize(p));
+}
+BENCHMARK(BM_WhitmanIterativeDeep)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_WhitmanMemoRandom(benchmark::State& state) {
+  ExprArena arena;
+  Rng rng(99);
+  int ops = static_cast<int>(state.range(0));
+  std::vector<std::pair<ExprId, ExprId>> pairs;
+  for (int i = 0; i < 32; ++i) {
+    pairs.emplace_back(RandomExpr(&arena, &rng, 4, ops),
+                       RandomExpr(&arena, &rng, 4, ops));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    WhitmanMemo memo(&arena);
+    auto [p, q] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(memo.Eq(p, q));
+  }
+  state.SetComplexityN(ops);
+}
+BENCHMARK(BM_WhitmanMemoRandom)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity();
+
+// Identity checking via the full ALG machinery with E = {} — strictly more
+// general, measurably heavier: the ablation showing why the logspace
+// fragment deserves its own decider.
+void BM_IdentityViaAlg(benchmark::State& state) {
+  ExprArena arena;
+  Rng rng(99);
+  int ops = static_cast<int>(state.range(0));
+  std::vector<std::pair<ExprId, ExprId>> pairs;
+  for (int i = 0; i < 32; ++i) {
+    pairs.emplace_back(RandomExpr(&arena, &rng, 4, ops),
+                       RandomExpr(&arena, &rng, 4, ops));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto [p, q] = pairs[i++ % pairs.size()];
+    PdImplicationEngine engine(&arena, {});
+    benchmark::DoNotOptimize(engine.Implies(Pd::Eq(p, q)));
+  }
+  state.SetComplexityN(ops);
+}
+BENCHMARK(BM_IdentityViaAlg)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// THM9 + ABL1: PD implication is polynomial (Theorem 9). Measures
+// Algorithm ALG (bit-parallel engine) against the literal rule-by-rule
+// naive closure across growing vertex counts n = |V|. The paper claims a
+// straightforward implementation is O(n^4); the measured log-log slope of
+// the engine should be comfortably polynomial (<= ~4), with the naive
+// variant far more expensive at equal sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "psem.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace psem;
+using namespace psem::bench;
+
+// Random theory sized so that |V| grows linearly with the range arg.
+void SetupTheory(int size, ExprArena* arena, std::vector<Pd>* pds, Pd* query) {
+  Rng rng(1234);
+  *pds = RandomTheory(arena, &rng, /*num_attrs=*/8, /*num_pds=*/size,
+                      /*max_ops=*/4);
+  ExprId l = RandomExpr(arena, &rng, 8, 4);
+  ExprId r = RandomExpr(arena, &rng, 8, 4);
+  *query = Pd::Leq(l, r);
+}
+
+void BM_AlgEngineRandomTheory(benchmark::State& state) {
+  ExprArena arena;
+  std::vector<Pd> pds;
+  Pd query;
+  SetupTheory(static_cast<int>(state.range(0)), &arena, &pds, &query);
+  std::size_t vertices = 0;
+  for (auto _ : state) {
+    PdImplicationEngine engine(&arena, pds);
+    benchmark::DoNotOptimize(engine.Implies(query));
+    vertices = engine.stats().num_vertices;
+  }
+  state.counters["V"] = static_cast<double>(vertices);
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_AlgEngineRandomTheory)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Arg(128)->Complexity();
+
+void BM_NaiveRulesRandomTheory(benchmark::State& state) {
+  ExprArena arena;
+  std::vector<Pd> pds;
+  Pd query;
+  SetupTheory(static_cast<int>(state.range(0)), &arena, &pds, &query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaivePdImplication(arena, pds, query));
+  }
+}
+BENCHMARK(BM_NaiveRulesRandomTheory)->Arg(4)->Arg(8)->Arg(16);
+
+// Chain theories: derives a quadratic number of order consequences.
+void BM_AlgEngineChain(benchmark::State& state) {
+  ExprArena arena;
+  std::vector<Pd> pds = ChainTheory(&arena, static_cast<int>(state.range(0)));
+  Pd query = Pd::Leq(arena.Attr("A0"),
+                     arena.Attr("A" + std::to_string(state.range(0) - 1)));
+  for (auto _ : state) {
+    PdImplicationEngine engine(&arena, pds);
+    bool implied = engine.Implies(query);
+    benchmark::DoNotOptimize(implied);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AlgEngineChain)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity();
+
+// Repeated queries against one prepared engine (the amortized mode).
+void BM_AlgEnginePreparedQueries(benchmark::State& state) {
+  ExprArena arena;
+  std::vector<Pd> pds = ChainTheory(&arena, 64);
+  PdImplicationEngine engine(&arena, pds);
+  // Prepare once with all attributes.
+  std::vector<ExprId> attrs;
+  for (int i = 0; i < 64; ++i) attrs.push_back(arena.Attr("A" + std::to_string(i)));
+  engine.Prepare(attrs);
+  Rng rng(5);
+  for (auto _ : state) {
+    ExprId a = attrs[rng.Below(64)];
+    ExprId b = attrs[rng.Below(64)];
+    benchmark::DoNotOptimize(engine.LeqInClosure(a, b));
+  }
+}
+BENCHMARK(BM_AlgEnginePreparedQueries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// ABL2: the partition-operation substrate. Product via the merge-walk +
+// pair-hash, sum via union-find chaining — both near-linear in the
+// population; plus the L(I) closure cost as generator count grows (this
+// one is intrinsically exponential in the worst case, which is why
+// ClosePartitions takes a cap).
+
+#include <benchmark/benchmark.h>
+
+#include "psem.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace psem;
+
+Partition RandomPartition(Rng* rng, std::size_t n, uint32_t blocks) {
+  std::vector<Elem> pop(n);
+  std::vector<uint32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop[i] = static_cast<Elem>(i);
+    labels[i] = static_cast<uint32_t>(rng->Below(blocks));
+  }
+  return Partition::FromLabels(pop, labels);
+}
+
+void BM_PartitionProduct(benchmark::State& state) {
+  Rng rng(1);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Partition a = RandomPartition(&rng, n, static_cast<uint32_t>(n / 8 + 2));
+  Partition b = RandomPartition(&rng, n, static_cast<uint32_t>(n / 8 + 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partition::Product(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PartitionProduct)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Complexity();
+
+void BM_PartitionSum(benchmark::State& state) {
+  Rng rng(2);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Partition a = RandomPartition(&rng, n, static_cast<uint32_t>(n / 8 + 2));
+  Partition b = RandomPartition(&rng, n, static_cast<uint32_t>(n / 8 + 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partition::Sum(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PartitionSum)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Complexity();
+
+void BM_PartitionSumDisjointPopulations(benchmark::State& state) {
+  Rng rng(3);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Elem> pop_a(n), pop_b(n);
+  std::vector<uint32_t> lab_a(n), lab_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop_a[i] = static_cast<Elem>(i);
+    pop_b[i] = static_cast<Elem>(n + i);
+    lab_a[i] = static_cast<uint32_t>(rng.Below(n / 4 + 1));
+    lab_b[i] = static_cast<uint32_t>(rng.Below(n / 4 + 1));
+  }
+  Partition a = Partition::FromLabels(pop_a, lab_a);
+  Partition b = Partition::FromLabels(pop_b, lab_b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partition::Sum(a, b));
+  }
+}
+BENCHMARK(BM_PartitionSumDisjointPopulations)->Arg(1024)->Arg(4096);
+
+void BM_CanonicalInterpretation(benchmark::State& state) {
+  std::size_t rows = static_cast<std::size_t>(state.range(0));
+  Database db;
+  std::size_t ri = db.AddRelation("R", {"A", "B", "C", "D"});
+  Rng rng(4);
+  for (std::size_t i = 0; i < rows; ++i) {
+    db.relation(ri).AddRow(&db.symbols(),
+                           {"a" + std::to_string(rng.Below(rows / 4 + 1)),
+                            "b" + std::to_string(rng.Below(rows / 4 + 1)),
+                            "c" + std::to_string(rng.Below(rows / 4 + 1)),
+                            "d" + std::to_string(rng.Below(rows / 4 + 1))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CanonicalInterpretation(db, db.relation(ri)).ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_CanonicalInterpretation)->Arg(64)->Arg(256)->Arg(1024)
+    ->Complexity();
+
+void BM_PartitionClosureLattice(benchmark::State& state) {
+  // Generators over a fixed 8-element population; closure size grows fast
+  // with generator count.
+  Rng rng(5);
+  int gens = static_cast<int>(state.range(0));
+  std::vector<Partition> atoms;
+  std::vector<std::string> names;
+  for (int i = 0; i < gens; ++i) {
+    atoms.push_back(RandomPartition(&rng, 8, 3));
+    names.push_back("G" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto r = ClosePartitions(atoms, names, /*max_elements=*/100000);
+    benchmark::DoNotOptimize(r.ok());
+    if (r.ok()) state.counters["lattice_size"] = static_cast<double>(r->lattice.size());
+  }
+}
+BENCHMARK(BM_PartitionClosureLattice)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Query-layer benchmarks: closed-world conjunctive-query evaluation,
+// certain-answer evaluation over chased weak instances, congruence
+// closure, and lattice structural analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "psem.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace psem;
+using namespace psem::bench;
+
+// A star-schema-ish database: fact(K, D1, D2), dim1(D1, X), dim2(D2, Y).
+void BuildStar(Database* db, Rng* rng, int facts, int dims) {
+  std::size_t f = db->AddRelation("fact", {"K", "D1", "D2"});
+  for (int i = 0; i < facts; ++i) {
+    db->relation(f).AddRow(&db->symbols(),
+                           {"k" + std::to_string(i),
+                            "d" + std::to_string(rng->Below(dims)),
+                            "e" + std::to_string(rng->Below(dims))});
+  }
+  std::size_t d1 = db->AddRelation("dim1", {"D1", "X"});
+  std::size_t d2 = db->AddRelation("dim2", {"D2", "Y"});
+  for (int i = 0; i < dims; ++i) {
+    db->relation(d1).AddRow(&db->symbols(),
+                            {"d" + std::to_string(i),
+                             "x" + std::to_string(i % 5)});
+    db->relation(d2).AddRow(&db->symbols(),
+                            {"e" + std::to_string(i),
+                             "y" + std::to_string(i % 5)});
+  }
+}
+
+void BM_ConjunctiveQueryJoin(benchmark::State& state) {
+  int facts = static_cast<int>(state.range(0));
+  Database db;
+  Rng rng(71);
+  BuildStar(&db, &rng, facts, facts / 4 + 2);
+  auto q = *ConjunctiveQuery::Parse(
+      "ans(K, X, Y) :- fact(K, A, B), dim1(A, X), dim2(B, Y)");
+  for (auto _ : state) {
+    auto answers = EvaluateQuery(&db, q);
+    benchmark::DoNotOptimize(answers.ok());
+  }
+  state.SetComplexityN(facts);
+}
+BENCHMARK(BM_ConjunctiveQueryJoin)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+void BM_CertainAnswersOverChase(benchmark::State& state) {
+  int facts = static_cast<int>(state.range(0));
+  Database db;
+  Rng rng(72);
+  BuildStar(&db, &rng, facts, facts / 4 + 2);
+  std::vector<Fd> fds = {*Fd::Parse(&db.universe(), "D1 -> X"),
+                         *Fd::Parse(&db.universe(), "D2 -> Y"),
+                         *Fd::Parse(&db.universe(), "K -> D1 D2")};
+  QueryTerm k{true, 0, ""}, x{true, 1, ""};
+  UniversalAtom atom{{{"K", k}, {"X", x}}};
+  for (auto _ : state) {
+    auto answers = CertainAnswers(&db, fds, {"K", "X"}, {0, 1}, {atom});
+    benchmark::DoNotOptimize(answers.ok());
+  }
+  state.SetComplexityN(facts);
+}
+BENCHMARK(BM_CertainAnswersOverChase)->Arg(32)->Arg(128)->Arg(512)
+    ->Complexity();
+
+void BM_CongruenceClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExprArena arena;
+    Rng rng(73);
+    std::vector<ExprId> exprs;
+    for (int i = 0; i < n; ++i) {
+      exprs.push_back(RandomExpr(&arena, &rng, 5, 3));
+    }
+    state.ResumeTiming();
+    CongruenceClosure cc(&arena);
+    for (int i = 0; i + 1 < n; i += 2) {
+      cc.AddEquation(exprs[i], exprs[i + 1]);
+    }
+    benchmark::DoNotOptimize(cc.NumClasses());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CongruenceClosure)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_LatticeSummarize(benchmark::State& state) {
+  auto full = FullPartitionLattice(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Summarize(full.lattice));
+  }
+  state.counters["n"] = static_cast<double>(full.lattice.size());
+}
+BENCHMARK(BM_LatticeSummarize)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_LatticeDotExport(benchmark::State& state) {
+  auto full = FullPartitionLattice(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExportLatticeDot(full.lattice));
+  }
+}
+BENCHMARK(BM_LatticeDotExport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// FIG3: executable reproduction of Figure 3 / Theorem 11 (Section 6.1).
+//
+// The paper's figure shows the reduction of NOT-ALL-EQUAL-3SAT to CAD
+// consistency for n = 4 variables and the clause c1 = x1 v x2 v (not x3):
+// relations R0[A A1..An] with two tuples and R1[A A4 B1..B4] with one
+// tuple, plus the FPDs B_i -> A_i and B1 B2 B3 -> A. This binary builds
+// that instance (with the polarity-mirror padding described in cad.h),
+// prints it, runs the exact CAD solver, decodes the NAE assignment, and
+// then flips the formula to an unsatisfiable one to confirm the reduction
+// detects it.
+
+#include <cstdio>
+
+#include "psem.h"
+
+using namespace psem;
+
+namespace {
+int failures = 0;
+void Row(const char* claim, bool expected, bool measured) {
+  bool ok = expected == measured;
+  if (!ok) ++failures;
+  std::printf("  %-56s paper: %-5s measured: %-5s %s\n", claim,
+              expected ? "true" : "false", measured ? "true" : "false",
+              ok ? "OK" : "MISMATCH");
+}
+}  // namespace
+
+int main() {
+  std::printf("== FIG3: Figure 3 / Theorem 11 reproduction ==\n\n");
+
+  // The figure's formula.
+  NaeFormula f;
+  f.num_vars = 4;
+  f.clauses.push_back(NaeClause{{0, true}, {1, true}, {2, false}});
+  std::printf("formula: c1 = x1 v x2 v (not x3) over x1..x4\n\n");
+
+  Database db;
+  CadReduction red = *ReduceNaeToCad(f, &db);
+  std::printf("reduced database (%zu relations; mirrors g_i = x_i added as "
+              "clauses):\n",
+              db.num_relations());
+  std::printf("%s", db.relation(0).ToString(db.universe(), db.symbols()).c_str());
+  std::printf("%s\n", db.relation(1).ToString(db.universe(), db.symbols()).c_str());
+  std::printf("FDs (%zu):\n", red.fds.size());
+  for (const Fd& fd : red.fds) {
+    std::printf("  %s\n", fd.ToString(db.universe()).c_str());
+  }
+
+  bool nae_sat = NaeBruteForce(red.padded).has_value();
+  Row("\nthe padded formula is NAE-satisfiable", true, nae_sat);
+
+  CadResult res = CadConsistent(db, red.fds);
+  Row("the instance is CAD-consistent (Theorem 6b search)", true,
+      res.consistent);
+  std::printf("  [exact solver explored %llu nodes]\n",
+              static_cast<unsigned long long>(res.nodes));
+
+  if (res.consistent) {
+    auto assignment = *DecodeCadAssignment(db, red, res);
+    std::printf("  decoded assignment:");
+    for (uint32_t i = 0; i < f.num_vars; ++i) {
+      std::printf(" x%u=%s", i + 1, assignment[i] ? "T" : "F");
+    }
+    std::printf("\n");
+    Row("decoded assignment NAE-satisfies the formula", true,
+        red.padded.Satisfied(assignment));
+  }
+
+  // The unsatisfiable direction: (x1 v x2) NAE + (x1 v -x2) NAE forces
+  // x1 != x2 and x1 == x2.
+  std::printf("\nunsatisfiable control: x1 v x2 ; x1 v (not x2)\n");
+  NaeFormula g = NaeFormula::Parse("1 2; 1 -2");
+  Row("control formula is NAE-satisfiable", false,
+      NaeBruteForce(g).has_value());
+  Database db2;
+  CadReduction red2 = *ReduceNaeToCad(g, &db2);
+  CadResult res2 = CadConsistent(db2, red2.fds);
+  Row("control instance is CAD-consistent", false, res2.consistent);
+  // Open world remains consistent: the NP-hardness is specific to CAD.
+  Row("control instance is open-world consistent", true,
+      WeakInstanceConsistent(db2, red2.fds));
+
+  std::printf("\n%s\n", failures == 0 ? "FIG3: all claims reproduced."
+                                      : "FIG3: MISMATCHES FOUND!");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Synthetic workload generators shared by the benchmark binaries. The
+// paper has no empirical section, so these families are designed to
+// exercise each theorem's claimed complexity shape (see DESIGN.md §2-3):
+// deterministic, seeded, and scalable in one size parameter.
+
+#ifndef PSEM_BENCH_WORKLOADS_H_
+#define PSEM_BENCH_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "psem.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace bench {
+
+/// Random partition expression over `num_attrs` attributes with exactly
+/// `ops` operator nodes.
+ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops);
+
+/// Random PD theory: `num_pds` equations/inequalities with sides of up to
+/// `max_ops` operators over `num_attrs` attributes.
+std::vector<Pd> RandomTheory(ExprArena* arena, Rng* rng, int num_attrs,
+                             int num_pds, int max_ops);
+
+/// Random FD set over attributes A0..A(num_attrs-1) (interned into the
+/// universe).
+std::vector<Fd> RandomFds(Universe* universe, Rng* rng, int num_attrs,
+                          int num_fds, int max_lhs);
+
+/// A fragmented database: `num_relations` binary relations over a shared
+/// attribute pool, `rows_per_relation` random rows each, with
+/// `symbols_per_attr` distinct symbols per attribute.
+void RandomFragmentedDatabase(Database* db, Rng* rng, int num_attrs,
+                              int num_relations, int rows_per_relation,
+                              int symbols_per_attr);
+
+/// The FPD chain A0 <= A1 <= ... <= A(n-1): ALG must derive the full
+/// transitive closure; queries at distance n stress the arc rules.
+std::vector<Pd> ChainTheory(ExprArena* arena, int n);
+
+/// Deeply nested balanced expression of the given depth over k attributes,
+/// alternating operators: stresses the Whitman deciders.
+ExprId DeepExpr(ExprArena* arena, int depth, int num_attrs, bool start_sum);
+
+}  // namespace bench
+}  // namespace psem
+
+#endif  // PSEM_BENCH_WORKLOADS_H_

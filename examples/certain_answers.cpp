@@ -1,0 +1,83 @@
+// Certain answers over weak instances: the query-side payoff of Section
+// 4.3. A database fragmented across three schemas is queried as if the
+// universal relation existed; FDs let the chase infer joins that no
+// stored relation contains, and only facts true in EVERY weak instance
+// are returned.
+//
+// Run: ./build/examples/certain_answers
+
+#include <cstdio>
+
+#include "psem.h"
+
+using namespace psem;
+
+namespace {
+
+void PrintRelation(const Database& db, const Relation& r) {
+  std::printf("%s", r.ToString(db.universe(), db.symbols()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== certain answers over a fragmented clinic database ==\n\n");
+
+  Database db;
+  std::size_t visits = db.AddRelation("visits", {"Patient", "Doctor"});
+  db.relation(visits).AddRow(&db.symbols(), {"paula", "drX"});
+  db.relation(visits).AddRow(&db.symbols(), {"quinn", "drY"});
+  db.relation(visits).AddRow(&db.symbols(), {"rosa", "drZ"});
+  std::size_t staff = db.AddRelation("staff", {"Doctor", "Ward"});
+  db.relation(staff).AddRow(&db.symbols(), {"drX", "cardio"});
+  db.relation(staff).AddRow(&db.symbols(), {"drY", "neuro"});
+  std::size_t wards = db.AddRelation("wards", {"Ward", "Building"});
+  db.relation(wards).AddRow(&db.symbols(), {"cardio", "east"});
+
+  std::printf("%s\n", db.ToString().c_str());
+
+  std::vector<Fd> fds = {
+      *Fd::Parse(&db.universe(), "Doctor -> Ward"),
+      *Fd::Parse(&db.universe(), "Ward -> Building"),
+  };
+  std::printf("FDs: Doctor -> Ward, Ward -> Building\n\n");
+
+  // 1. The chased representative instance (what the weak instance
+  // assumption lets us infer).
+  auto rep = RepresentativeInstance::Build(db, fds);
+  if (!rep.ok()) {
+    std::printf("inconsistent: %s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("chased representative instance:\n%s\n",
+              rep->ToString().c_str());
+
+  // 2. Certain answers: which patients are certainly treated in which
+  // building?
+  QueryTerm p{true, 0, ""}, b{true, 1, ""};
+  UniversalAtom atom{{{"Patient", p}, {"Building", b}}};
+  Relation certain = *CertainAnswers(&db, fds, {"P", "B"}, {0, 1}, {atom});
+  std::printf("certain (Patient, Building) pairs:\n");
+  PrintRelation(db, certain);
+  std::printf(
+      "  (paula only: quinn's ward has no building on record, rosa's doctor\n"
+      "   has no ward — their buildings differ across weak instances)\n\n");
+
+  // 3. Compare with the X-total projection API.
+  Relation window = *rep->TotalProjection({"Patient", "Ward"});
+  std::printf("certain (Patient, Ward) pairs via total projection:\n");
+  PrintRelation(db, window);
+
+  // 4. The closed-world contrast: plain conjunctive-query evaluation over
+  // the STORED relations cannot join patients to buildings at all unless
+  // it goes through both fragments explicitly.
+  auto q = ConjunctiveQuery::Parse(
+      "ans(P, B) :- visits(P, D), staff(D, W), wards(W, B)");
+  Relation closed = *EvaluateQuery(&db, *q);
+  std::printf("\nclosed-world 3-way join gives the same certain pair:\n");
+  PrintRelation(db, closed);
+  std::printf(
+      "\n(The universal-atom form needs no join plan: the chase already\n"
+      " materialized the connections the FDs force.)\n");
+  return 0;
+}

@@ -1,0 +1,222 @@
+// psem_cli — an interactive/scriptable partition-dependency reasoner.
+//
+// Reads commands from stdin (or from a file passed as argv[1]) and
+// exercises the whole library surface: theory building, Algorithm ALG
+// implication with proof extraction, countermodel search, identity
+// recognition, simplification, database loading, and consistency tests.
+//
+//   pd C = A + B            add a partition dependency to E
+//   fd A B -> C             add a functional dependency (as an FPD)
+//   implies A <= C          query E |= delta (Theorem 9)
+//   explain A <= C          ... with a derivation (proof extraction)
+//   counter A <= C          search for a small countermodel
+//   identity A*(A+B) = A    does it hold in EVERY interpretation? (Thm 10)
+//   simplify A*(A+B)+C*C    identity-preserving simplification
+//   relation R(A, B)        declare a relation
+//   row R a b               insert a tuple
+//   consistent              database consistent with E? (Theorem 12)
+//   materialize             build an explicit weak instance (Lemma 12.1)
+//   show                    print E and the database
+//   help / quit
+//
+// Run: ./build/examples/psem_cli   (then type commands)
+//      echo "pd A <= B\nimplies A*C <= B*C" | ./build/examples/psem_cli
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "psem.h"
+#include "util/strings.h"
+
+using namespace psem;
+
+namespace {
+
+struct Session {
+  ExprArena arena;
+  std::vector<Pd> pds;
+  Database db;
+
+  void ShowStatusError(const Status& st) {
+    std::printf("error: %s\n", st.ToString().c_str());
+  }
+
+  void Handle(const std::string& raw) {
+    std::string_view line = StripAsciiWhitespace(raw);
+    if (line.empty() || line[0] == '#') return;
+    auto starts = [&](const char* prefix) {
+      return line.rfind(prefix, 0) == 0;
+    };
+    auto rest_after = [&](std::size_t n) {
+      return std::string(StripAsciiWhitespace(line.substr(n)));
+    };
+
+    if (starts("pd ")) {
+      auto pd = arena.ParsePd(rest_after(3));
+      if (!pd.ok()) return ShowStatusError(pd.status());
+      pds.push_back(*pd);
+      std::set<AttrId> attrs;
+      arena.CollectAttrs(pd->lhs, &attrs);
+      arena.CollectAttrs(pd->rhs, &attrs);
+      for (AttrId a : attrs) db.universe().Intern(arena.AttrName(a));
+      std::printf("E%zu: %s\n", pds.size(), arena.ToString(*pd).c_str());
+    } else if (starts("fd ")) {
+      auto fd = Fd::Parse(&db.universe(), rest_after(3));
+      if (!fd.ok()) return ShowStatusError(fd.status());
+      Pd fpd = FdToFpd(db.universe(), &arena, *fd);
+      pds.push_back(fpd);
+      std::printf("E%zu: %s   (FPD for %s)\n", pds.size(),
+                  arena.ToString(fpd).c_str(),
+                  fd->ToString(db.universe()).c_str());
+    } else if (starts("implies ")) {
+      auto pd = arena.ParsePd(rest_after(8));
+      if (!pd.ok()) return ShowStatusError(pd.status());
+      PdImplicationEngine engine(&arena, pds);
+      std::printf("%s\n", engine.Implies(*pd) ? "implied" : "not implied");
+    } else if (starts("explain ")) {
+      auto pd = arena.ParsePd(rest_after(8));
+      if (!pd.ok()) return ShowStatusError(pd.status());
+      ProvenanceEngine prover(&arena, pds);
+      auto proof = prover.Prove(*pd);
+      if (!proof.ok()) {
+        std::printf("not implied (%s)\n", proof.status().message().c_str());
+        return;
+      }
+      std::printf("%s", RenderProof(arena, *proof).c_str());
+    } else if (starts("counter ")) {
+      auto pd = arena.ParsePd(rest_after(8));
+      if (!pd.ok()) return ShowStatusError(pd.status());
+      auto model = FindCounterModel(arena, pds, *pd, /*max_population=*/4);
+      if (!model) {
+        std::printf("no countermodel with population <= 4 (likely implied)\n");
+        return;
+      }
+      std::printf("countermodel over population of %zu:\n%s",
+                  model->population_size,
+                  model->interpretation.ToString().c_str());
+    } else if (starts("identity ")) {
+      auto pd = arena.ParsePd(rest_after(9));
+      if (!pd.ok()) return ShowStatusError(pd.status());
+      WhitmanMemo w(&arena);
+      std::printf("%s\n", w.IsIdentity(*pd) ? "identity (holds everywhere)"
+                                            : "not an identity");
+    } else if (starts("simplify ")) {
+      auto e = arena.Parse(rest_after(9));
+      if (!e.ok()) return ShowStatusError(e.status());
+      std::printf("%s\n", arena.ToString(SimplifyExpr(&arena, *e)).c_str());
+    } else if (starts("relation ") || starts("row ")) {
+      Status st = LoadDatabaseText(std::string(line), &db);
+      if (!st.ok()) return ShowStatusError(st);
+      std::printf("ok\n");
+    } else if (starts("csvfile ")) {
+      // csvfile <path> <relation-name>
+      std::vector<std::string> parts = SplitAndStrip(line.substr(8), ' ');
+      if (parts.size() != 2) {
+        std::printf("usage: csvfile <path> <relation-name>\n");
+        return;
+      }
+      std::ifstream f(parts[0]);
+      if (!f) {
+        std::printf("cannot open %s\n", parts[0].c_str());
+        return;
+      }
+      std::stringstream buf;
+      buf << f.rdbuf();
+      auto ri = LoadCsvRelation(buf.str(), &db, parts[1]);
+      if (!ri.ok()) return ShowStatusError(ri.status());
+      std::printf("loaded %zu rows into %s\n", db.relation(*ri).size(),
+                  parts[1].c_str());
+    } else if (starts("discover ")) {
+      auto idx = db.IndexOf(rest_after(9));
+      if (!idx.ok()) return ShowStatusError(idx.status());
+      const Relation& r = db.relation(*idx);
+      auto fds = DiscoverFds(db, r);
+      if (!fds.ok()) return ShowStatusError(fds.status());
+      std::printf("minimal FDs:\n");
+      for (const Fd& fd : *fds) {
+        std::printf("  %s\n", fd.ToString(db.universe()).c_str());
+      }
+      auto patterns = DiscoverPdPatterns(db, r);
+      if (!patterns.ok()) return ShowStatusError(patterns.status());
+      std::printf("PD patterns:\n");
+      for (const PdPattern& p : *patterns) {
+        std::printf("  %s\n", p.ToString(db.universe()).c_str());
+      }
+    } else if (starts("query ")) {
+      auto q = ConjunctiveQuery::Parse(rest_after(6));
+      if (!q.ok()) return ShowStatusError(q.status());
+      auto answers = EvaluateQuery(&db, *q);
+      if (!answers.ok()) return ShowStatusError(answers.status());
+      std::printf("%s", answers->ToString(db.universe(), db.symbols()).c_str());
+    } else if (starts("analyze ")) {
+      auto idx = db.IndexOf(rest_after(8));
+      if (!idx.ok()) return ShowStatusError(idx.status());
+      const Relation& r = db.relation(*idx);
+      auto interp = CanonicalInterpretation(db, r);
+      if (!interp.ok()) return ShowStatusError(interp.status());
+      auto closure = InterpretationLattice(*interp, /*max_elements=*/2000);
+      if (!closure.ok()) return ShowStatusError(closure.status());
+      std::printf("L(I(%s)): %s\n", r.schema().name.c_str(),
+                  Summarize(closure->lattice).c_str());
+    } else if (line == "consistent") {
+      auto report = PdConsistent(&db, arena, pds);
+      if (!report.ok()) return ShowStatusError(report.status());
+      std::printf("%s (|F| = %zu, sum-uppers = %zu, chase rounds = %zu)\n",
+                  report->consistent ? "consistent" : "INCONSISTENT",
+                  report->num_fpds, report->num_sum_uppers,
+                  report->chase_rounds);
+    } else if (line == "materialize") {
+      auto m = MaterializeWeakInstance(&db, arena, pds);
+      if (!m.ok()) return ShowStatusError(m.status());
+      std::printf("weak instance (%zu rows, %zu repairs):\n%s",
+                  m->instance.size(), m->added_tuples,
+                  m->instance.ToString(db.universe(), db.symbols()).c_str());
+    } else if (line == "show") {
+      std::printf("E:\n");
+      for (std::size_t i = 0; i < pds.size(); ++i) {
+        std::printf("  E%zu: %s\n", i + 1, arena.ToString(pds[i]).c_str());
+      }
+      std::printf("database:\n%s", DumpDatabaseText(db).c_str());
+    } else if (line == "help") {
+      std::printf(
+          "commands: pd, fd, implies, explain, counter, identity, simplify,\n"
+          "          relation, row, csvfile, discover, query, analyze,\n"
+          "          consistent, materialize, show, quit\n");
+    } else if (line == "quit" || line == "exit") {
+      std::exit(0);
+    } else {
+      std::printf("unknown command (try 'help'): %s\n",
+                  std::string(line).c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Session session;
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  }
+  bool interactive = (argc <= 1) && isatty(0);
+  if (interactive) {
+    std::printf("psem reasoner — type 'help' for commands\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::printf("> ");
+    if (!std::getline(*in, line)) break;
+    session.Handle(line);
+  }
+  return 0;
+}

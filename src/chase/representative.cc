@@ -1,0 +1,59 @@
+#include "chase/representative.h"
+
+namespace psem {
+
+Result<RepresentativeInstance> RepresentativeInstance::Build(
+    const Database& db, const std::vector<Fd>& fds) {
+  std::size_t width = db.universe().size();
+  for (const Fd& fd : fds) {
+    width = std::max(width, fd.lhs.size());
+    width = std::max(width, fd.rhs.size());
+  }
+  Tableau t = Tableau::Representative(db, width);
+  ChaseResult chase = ChaseWithFds(&t, fds);
+  if (!chase.consistent) {
+    return Status::Inconsistent(
+        "database has no weak instance satisfying the FDs");
+  }
+  return RepresentativeInstance(&db, std::move(t), chase);
+}
+
+Result<Relation> RepresentativeInstance::TotalProjection(
+    const std::vector<std::string>& attr_names,
+    const std::string& result_name) {
+  RelationSchema schema;
+  schema.name = result_name;
+  std::vector<std::size_t> cols;
+  for (const std::string& name : attr_names) {
+    PSEM_ASSIGN_OR_RETURN(RelAttrId id, db_->universe().Require(name));
+    if (id >= tableau_.width()) {
+      return Status::OutOfRange("attribute '" + name +
+                                "' outside the tableau");
+    }
+    schema.attrs.push_back(id);
+    cols.push_back(id);
+  }
+  Relation out(std::move(schema));
+  for (std::size_t r = 0; r < tableau_.num_rows(); ++r) {
+    Tuple t;
+    t.reserve(cols.size());
+    bool total = true;
+    for (std::size_t c : cols) {
+      uint32_t cls = tableau_.Resolve(r, c);
+      uint32_t constant = tableau_.ConstantOf(cls);
+      if (constant == Tableau::kNoConstant) {
+        total = false;
+        break;
+      }
+      t.push_back(constant);
+    }
+    if (total) out.AddTuple(std::move(t));
+  }
+  return out;
+}
+
+std::string RepresentativeInstance::ToString() const {
+  return tableau_.ToString(*db_, db_->universe());
+}
+
+}  // namespace psem

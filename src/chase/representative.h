@@ -1,0 +1,57 @@
+// Query answering under the weak instance assumption. The chased
+// representative tableau is the canonical witness of consistency
+// (Honeyman [19]); its rows whose cells on an attribute set X all resolve
+// to constants form the X-total projection — the standard certain-answer
+// semantics for querying a fragmented database as if the universal weak
+// instance existed. This is the practical payoff of Section 4.3's
+// equivalence between partition interpretations and weak instances.
+
+#ifndef PSEM_CHASE_REPRESENTATIVE_H_
+#define PSEM_CHASE_REPRESENTATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/tableau.h"
+#include "relational/dependency.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// The chased representative instance of a database under a set of FDs.
+class RepresentativeInstance {
+ public:
+  /// Builds and chases. Fails with Inconsistent if the database has no
+  /// weak instance satisfying the FDs.
+  static Result<RepresentativeInstance> Build(const Database& db,
+                                              const std::vector<Fd>& fds);
+
+  /// The X-total projection: one tuple per tableau row whose cells under
+  /// every attribute of `attrs` resolve to constants, projected on those
+  /// attributes, deduplicated. These are facts certain in every weak
+  /// instance (each weak instance is a homomorphic image of the chased
+  /// tableau).
+  Result<Relation> TotalProjection(const std::vector<std::string>& attr_names,
+                                   const std::string& result_name = "window");
+
+  /// Number of tableau rows.
+  std::size_t num_rows() const { return tableau_.num_rows(); }
+
+  /// Render the chased tableau (constants + labeled nulls).
+  std::string ToString() const;
+
+  const ChaseResult& chase_stats() const { return chase_; }
+
+ private:
+  RepresentativeInstance(const Database* db, Tableau tableau, ChaseResult chase)
+      : db_(db), tableau_(std::move(tableau)), chase_(chase) {}
+
+  const Database* db_;
+  Tableau tableau_;
+  ChaseResult chase_;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_CHASE_REPRESENTATIVE_H_

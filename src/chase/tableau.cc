@@ -1,0 +1,162 @@
+#include "chase/tableau.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace psem {
+
+Tableau Tableau::Representative(const Database& db,
+                                std::size_t universe_width) {
+  Tableau t;
+  t.width_ = universe_width;
+
+  // Constants: reuse the database's ValueIds densely [0, #symbols).
+  t.num_constants_ = db.symbols().size();
+  uint32_t next_value = static_cast<uint32_t>(t.num_constants_);
+
+  std::size_t total_rows = 0;
+  for (std::size_t ri = 0; ri < db.num_relations(); ++ri) {
+    total_rows += db.relation(ri).size();
+  }
+  t.rows_.reserve(total_rows);
+  for (std::size_t ri = 0; ri < db.num_relations(); ++ri) {
+    const Relation& r = db.relation(ri);
+    for (const Tuple& tup : r.rows()) {
+      std::vector<uint32_t> row(universe_width, 0);
+      std::vector<bool> filled(universe_width, false);
+      for (std::size_t c = 0; c < r.arity(); ++c) {
+        RelAttrId a = r.schema().attrs[c];
+        row[a] = tup[c];  // constant id
+        filled[a] = true;
+      }
+      for (std::size_t a = 0; a < universe_width; ++a) {
+        if (!filled[a]) row[a] = next_value++;  // fresh labeled null
+      }
+      t.rows_.push_back(std::move(row));
+    }
+  }
+  t.classes_ = UnionFind(next_value);
+  t.class_constant_.assign(next_value, kNoConstant);
+  for (uint32_t v = 0; v < t.num_constants_; ++v) t.class_constant_[v] = v;
+  return t;
+}
+
+Status Tableau::EquateCells(std::size_t row1, std::size_t col1,
+                            std::size_t row2, std::size_t col2) {
+  uint32_t a = classes_.Find(rows_[row1][col1]);
+  uint32_t b = classes_.Find(rows_[row2][col2]);
+  if (a == b) return Status::OK();
+  uint32_t ca = class_constant_[a];
+  uint32_t cb = class_constant_[b];
+  if (ca != kNoConstant && cb != kNoConstant && ca != cb) {
+    return Status::Inconsistent("chase equates distinct constants");
+  }
+  classes_.Union(a, b);
+  uint32_t root = classes_.Find(a);
+  class_constant_[root] = (ca != kNoConstant) ? ca : cb;
+  return Status::OK();
+}
+
+std::string Tableau::ToString(const Database& db,
+                              const Universe& universe) const {
+  std::string out;
+  for (std::size_t a = 0; a < width_; ++a) {
+    out += (a < universe.size() ? universe.NameOf(static_cast<RelAttrId>(a))
+                                : "?");
+    out += "\t";
+  }
+  out += "\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < width_; ++c) {
+      uint32_t v = classes_.Find(rows_[r][c]);
+      uint32_t k = class_constant_[v];
+      if (k != kNoConstant) {
+        out += db.symbols().NameOf(k);
+      } else {
+        out += "_n" + std::to_string(v);
+      }
+      out += "\t";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds) {
+  ChaseResult result;
+  const std::size_t n = tableau->num_rows();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    for (const Fd& fd : fds) {
+      // Columns of the FD (ids are universe ids = tableau columns).
+      std::vector<std::size_t> xcols, ycols;
+      fd.lhs.ForEach([&](std::size_t a) {
+        if (a < tableau->width()) xcols.push_back(a);
+      });
+      fd.rhs.ForEach([&](std::size_t a) {
+        if (a < tableau->width()) ycols.push_back(a);
+      });
+      if (xcols.empty()) continue;
+      // Hash rows by resolved X projection.
+      std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+      for (uint32_t r = 0; r < n; ++r) {
+        uint64_t h = 0xcbf29ce484222325ull;
+        for (std::size_t c : xcols) {
+          h ^= tableau->Resolve(r, c);
+          h *= 0x100000001b3ull;
+        }
+        buckets[h].push_back(r);
+      }
+      for (auto& [h, rows] : buckets) {
+        (void)h;
+        if (rows.size() < 2) continue;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          for (std::size_t j = i + 1; j < rows.size(); ++j) {
+            bool agree = true;
+            for (std::size_t c : xcols) {
+              if (tableau->Resolve(rows[i], c) !=
+                  tableau->Resolve(rows[j], c)) {
+                agree = false;
+                break;
+              }
+            }
+            if (!agree) continue;
+            for (std::size_t c : ycols) {
+              if (tableau->Resolve(rows[i], c) ==
+                  tableau->Resolve(rows[j], c)) {
+                continue;
+              }
+              Status st = tableau->EquateCells(rows[i], c, rows[j], c);
+              ++result.merges;
+              changed = true;
+              if (!st.ok()) {
+                result.consistent = false;
+                return result;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  result.consistent = true;
+  return result;
+}
+
+bool WeakInstanceConsistent(const Database& db, const std::vector<Fd>& fds,
+                            std::size_t universe_width) {
+  std::size_t width = universe_width == 0 ? db.universe().size()
+                                          : universe_width;
+  // FDs may reference attributes beyond db's universe (fresh normalization
+  // attributes); make sure the tableau covers them.
+  for (const Fd& fd : fds) {
+    width = std::max(width, fd.lhs.size());
+    width = std::max(width, fd.rhs.size());
+  }
+  Tableau t = Tableau::Representative(db, width);
+  return ChaseWithFds(&t, fds).consistent;
+}
+
+}  // namespace psem

@@ -1,0 +1,63 @@
+// Consistency under the complete atomic data assumption (Section 6.1).
+// By Theorem 6b, a database d with FPDs E has a partition interpretation
+// satisfying d, E, CAD, EAP iff there is a weak instance w satisfying E_F
+// with w[A] = d[A] for every attribute: no new symbols may be invented.
+// Deciding this is NP-complete (Theorem 11, by reduction from
+// NOT-ALL-EQUAL-3SAT); CadConsistent is an exact backtracking solver and
+// ReduceNaeToCad builds the paper's Figure-3 instance family.
+
+#ifndef PSEM_CONSISTENCY_CAD_H_
+#define PSEM_CONSISTENCY_CAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "consistency/nae3sat.h"
+#include "relational/dependency.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Result of an exact CAD-consistency search.
+struct CadResult {
+  bool consistent = false;
+  bool decided = true;       ///< false iff node budget exhausted.
+  uint64_t nodes = 0;        ///< backtracking nodes explored.
+  /// On success: the completed weak instance, one row per database tuple,
+  /// columns in universe-id order (width = universe size).
+  std::vector<std::vector<ValueId>> weak_instance;
+};
+
+/// Decides whether a weak instance w exists with w[A] = d[A] for all A and
+/// w |= fds. Per the NP-membership argument of Theorem 11, w needs only
+/// one tuple per database tuple, so the search space is the fill-in of the
+/// representative rows with symbols already appearing in the respective
+/// columns of d.
+CadResult CadConsistent(const Database& db, const std::vector<Fd>& fds,
+                        uint64_t node_budget = UINT64_MAX);
+
+/// The Theorem 11 reduction. Builds into `db`/`fds` the database and FPD
+/// set whose CAD-consistency is equivalent to NAE-satisfiability of `f`
+/// (clauses of size 2 or 3 over distinct variables). Per-variable mirror
+/// clauses (x_i OR NOT g_i), (NOT x_i OR g_i) over fresh mirrors g_i are
+/// appended automatically; they preserve satisfiability and give every
+/// variable both polarities, which the proof's {t1[B_i], t2[B_i]} =
+/// {a_i, b_i} argument requires.
+struct CadReduction {
+  NaeFormula padded;              ///< f plus the mirror clauses.
+  std::vector<Fd> fds;            ///< B_i -> A_i and clause FDs.
+};
+Result<CadReduction> ReduceNaeToCad(const NaeFormula& f, Database* db);
+
+/// Extracts the NAE assignment from a successful CAD search on a reduced
+/// instance (Theorem 11's decoding: x_i true iff the first R0-row's B_i
+/// cell got value a_i).
+Result<std::vector<bool>> DecodeCadAssignment(const Database& db,
+                                              const CadReduction& reduction,
+                                              const CadResult& result);
+
+}  // namespace psem
+
+#endif  // PSEM_CONSISTENCY_CAD_H_

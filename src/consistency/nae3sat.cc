@@ -1,0 +1,176 @@
+#include "consistency/nae3sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace psem {
+
+NaeFormula NaeFormula::Parse(const std::string& text) {
+  NaeFormula f;
+  for (const std::string& clause_text : SplitAndStrip(text, ';')) {
+    NaeClause clause;
+    for (const std::string& lit : SplitAndStrip(clause_text, ' ')) {
+      long v = std::stol(lit);
+      assert(v != 0);
+      NaeLiteral l;
+      l.positive = v > 0;
+      l.var = static_cast<uint32_t>((v > 0 ? v : -v) - 1);
+      f.num_vars = std::max(f.num_vars, l.var + 1);
+      clause.push_back(l);
+    }
+    if (!clause.empty()) f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+std::string NaeFormula::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += "; ";
+    for (std::size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out += " ";
+      if (!clauses[i][j].positive) out += "-";
+      out += std::to_string(clauses[i][j].var + 1);
+    }
+  }
+  return out;
+}
+
+bool NaeFormula::Satisfied(const std::vector<bool>& assignment) const {
+  for (const NaeClause& c : clauses) {
+    bool any_true = false, any_false = false;
+    for (const NaeLiteral& l : c) {
+      bool v = assignment[l.var] == l.positive;
+      any_true |= v;
+      any_false |= !v;
+    }
+    if (!any_true || !any_false) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<bool>> NaeBruteForce(const NaeFormula& f) {
+  assert(f.num_vars < 28);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << f.num_vars); ++mask) {
+    std::vector<bool> a(f.num_vars);
+    for (uint32_t v = 0; v < f.num_vars; ++v) a[v] = (mask >> v) & 1;
+    if (f.Satisfied(a)) return a;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+enum class Tri : uint8_t { kUnset, kTrue, kFalse };
+
+struct Solver {
+  const NaeFormula& f;
+  std::vector<Tri> value;
+  uint64_t nodes = 0;
+  uint64_t budget;
+  bool exhausted = false;
+
+  explicit Solver(const NaeFormula& formula, uint64_t node_budget)
+      : f(formula), value(formula.num_vars, Tri::kUnset), budget(node_budget) {}
+
+  // Checks a clause under the partial assignment. Returns false if the
+  // clause is already all-equal with every literal fixed.
+  bool ClauseOk(const NaeClause& c) const {
+    bool any_true = false, any_false = false, any_unset = false;
+    for (const NaeLiteral& l : c) {
+      if (value[l.var] == Tri::kUnset) {
+        any_unset = true;
+      } else {
+        bool v = (value[l.var] == Tri::kTrue) == l.positive;
+        any_true |= v;
+        any_false |= !v;
+      }
+    }
+    return any_unset || (any_true && any_false);
+  }
+
+  bool Dfs(uint32_t var) {
+    if (++nodes > budget) {
+      exhausted = true;
+      return false;
+    }
+    while (var < f.num_vars && value[var] != Tri::kUnset) ++var;
+    if (var == f.num_vars) {
+      for (const NaeClause& c : f.clauses) {
+        if (!ClauseOk(c)) return false;
+      }
+      return true;
+    }
+    for (Tri t : {Tri::kFalse, Tri::kTrue}) {
+      value[var] = t;
+      bool ok = true;
+      for (const NaeClause& c : f.clauses) {
+        bool involves = false;
+        for (const NaeLiteral& l : c) involves |= (l.var == var);
+        if (involves && !ClauseOk(c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && Dfs(var + 1)) return true;
+      if (exhausted) break;
+      value[var] = Tri::kUnset;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget) {
+  NaeSolveResult result;
+  if (f.num_vars == 0) {
+    result.assignment = f.clauses.empty()
+                            ? std::optional<std::vector<bool>>(
+                                  std::vector<bool>{})
+                            : std::nullopt;
+    return result;
+  }
+  Solver s(f, node_budget);
+  // NAE formulas are complement-symmetric: WLOG variable 0 is false.
+  s.value[0] = Tri::kFalse;
+  bool sat = s.Dfs(0);
+  result.nodes = s.nodes;
+  if (s.exhausted) {
+    result.decided = false;
+    return result;
+  }
+  if (sat) {
+    std::vector<bool> a(f.num_vars);
+    for (uint32_t v = 0; v < f.num_vars; ++v) a[v] = s.value[v] == Tri::kTrue;
+    result.assignment = std::move(a);
+  }
+  return result;
+}
+
+NaeFormula RandomNae3(uint32_t n, uint32_t m, uint64_t seed) {
+  assert(n >= 3);
+  Rng rng(seed);
+  NaeFormula f;
+  f.num_vars = n;
+  for (uint32_t i = 0; i < m; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Below(n));
+    uint32_t b, c;
+    do {
+      b = static_cast<uint32_t>(rng.Below(n));
+    } while (b == a);
+    do {
+      c = static_cast<uint32_t>(rng.Below(n));
+    } while (c == a || c == b);
+    NaeClause clause{{a, rng.Chance(1, 2)},
+                     {b, rng.Chance(1, 2)},
+                     {c, rng.Chance(1, 2)}};
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+}  // namespace psem

@@ -1,0 +1,59 @@
+// NOT-ALL-EQUAL-SAT: the NP-complete problem behind Theorem 11's
+// reduction. A clause is NAE-satisfied when its literals take at least one
+// true AND at least one false value. Provides a DPLL-style solver, a brute
+// force reference, and deterministic random instance generation.
+
+#ifndef PSEM_CONSISTENCY_NAE3SAT_H_
+#define PSEM_CONSISTENCY_NAE3SAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psem {
+
+/// A literal: variable index (0-based) with a sign.
+struct NaeLiteral {
+  uint32_t var;
+  bool positive;
+};
+
+/// A clause of 2 or 3 literals over distinct variables.
+using NaeClause = std::vector<NaeLiteral>;
+
+/// A NAE formula.
+struct NaeFormula {
+  uint32_t num_vars = 0;
+  std::vector<NaeClause> clauses;
+
+  /// Parses clauses like "1 2 -3; -1 4 2" (1-based DIMACS-style vars).
+  static NaeFormula Parse(const std::string& text);
+  std::string ToString() const;
+
+  /// True iff `assignment` NAE-satisfies every clause.
+  bool Satisfied(const std::vector<bool>& assignment) const;
+};
+
+/// Exhaustive search (reference; use only for small num_vars).
+std::optional<std::vector<bool>> NaeBruteForce(const NaeFormula& f);
+
+/// DPLL-style backtracking solver with NAE propagation (a clause with all
+/// but one literal fixed to one polarity forces the last one). Exploits
+/// complement symmetry by pinning variable 0 to false.
+/// `node_budget` bounds the search; returns nullopt-with-exhausted flag via
+/// the struct below.
+struct NaeSolveResult {
+  std::optional<std::vector<bool>> assignment;  ///< set iff satisfiable.
+  bool decided = true;    ///< false iff the node budget ran out.
+  uint64_t nodes = 0;     ///< decision nodes explored.
+};
+NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget = UINT64_MAX);
+
+/// Random 3-clause formula over n variables with m clauses (distinct vars
+/// per clause, signs uniform), deterministic in `seed`.
+NaeFormula RandomNae3(uint32_t n, uint32_t m, uint64_t seed);
+
+}  // namespace psem
+
+#endif  // PSEM_CONSISTENCY_NAE3SAT_H_

@@ -1,0 +1,23 @@
+#include "consistency/pd_consistency.h"
+
+#include "chase/tableau.h"
+
+namespace psem {
+
+Result<PdConsistencyReport> PdConsistent(Database* db, const ExprArena& arena,
+                                         const std::vector<Pd>& pds) {
+  PdConsistencyReport report;
+  PSEM_ASSIGN_OR_RETURN(NormalizedPds norm,
+                        NormalizePds(arena, pds, &db->universe()));
+  report.num_fpds = norm.fpds.size();
+  report.num_sum_uppers = norm.sum_uppers.size();
+
+  Tableau t = Tableau::Representative(*db, db->universe().size());
+  ChaseResult chase = ChaseWithFds(&t, norm.fpds);
+  report.chase_rounds = chase.rounds;
+  report.chase_merges = chase.merges;
+  report.consistent = chase.consistent;
+  return report;
+}
+
+}  // namespace psem

@@ -1,0 +1,37 @@
+// The polynomial-time consistency test of Theorem 12: given a database d
+// and an arbitrary set E of PDs, decide whether some partition
+// interpretation satisfies both. By Theorem 7 this is equivalent to the
+// existence of a weak instance for d satisfying E; by the Section 6.2
+// normalization plus Lemma 12.1 it reduces to Honeyman's chase with the
+// FPD set F extracted from E+.
+
+#ifndef PSEM_CONSISTENCY_PD_CONSISTENCY_H_
+#define PSEM_CONSISTENCY_PD_CONSISTENCY_H_
+
+#include <vector>
+
+#include "core/normalize.h"
+#include "lattice/expr.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Diagnostic detail from a consistency check.
+struct PdConsistencyReport {
+  bool consistent = false;
+  std::size_t num_fpds = 0;        ///< |F| used in the chase.
+  std::size_t num_sum_uppers = 0;  ///< surviving C <= A+B constraints.
+  std::size_t chase_rounds = 0;
+  std::size_t chase_merges = 0;
+};
+
+/// Tests whether db is consistent with the PDs `pds` (expressions over
+/// `arena`; attributes shared with db's universe by name). Grows db's
+/// universe with the fresh attributes of normalization. Polynomial time.
+Result<PdConsistencyReport> PdConsistent(Database* db, const ExprArena& arena,
+                                         const std::vector<Pd>& pds);
+
+}  // namespace psem
+
+#endif  // PSEM_CONSISTENCY_PD_CONSISTENCY_H_

@@ -1,0 +1,48 @@
+// Constructive side of Lemma 12.1. The polynomial consistency test (Thm
+// 12) decides existence of a weak instance satisfying E by chasing with
+// the FPD subset F only; the lemma's proof REPAIRS any F-satisfying weak
+// instance into one satisfying the surviving sum-upper constraints
+// C <= A+B by adding bridging tuples (t[A+] from one violator, t[B+] from
+// the other, fresh symbols elsewhere). The paper iterates this to the
+// limit w_infinity; on concrete finite databases the iteration typically
+// converges quickly, so this module materializes an explicit finite weak
+// instance satisfying ALL of E — a tangible certificate to hand back to
+// the user — or reports the round budget as exhausted.
+
+#ifndef PSEM_CONSISTENCY_REPAIR_H_
+#define PSEM_CONSISTENCY_REPAIR_H_
+
+#include <vector>
+
+#include "core/normalize.h"
+#include "lattice/expr.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Result of materializing a full weak instance.
+struct MaterializedWeakInstance {
+  /// A relation over the extended universe (original + normalization
+  /// attributes), whose projection contains every database tuple and
+  /// which satisfies every PD of E (checked via Definition 7).
+  Relation instance;
+  std::size_t repair_rounds = 0;
+  std::size_t added_tuples = 0;
+};
+
+/// Builds a finite weak instance for `db` satisfying all of `pds`, by
+/// chasing with F and then running the Lemma 12.1 repair loop on the
+/// sum-upper residue until quiescence (or `max_rounds`). Returns
+/// Inconsistent when the Theorem 12 test fails, ResourceExhausted when
+/// the repair does not converge within the budget.
+///
+/// Grows db's universe (normalization attributes) and symbol table
+/// (fresh padding symbols).
+Result<MaterializedWeakInstance> MaterializeWeakInstance(
+    Database* db, const ExprArena& arena, const std::vector<Pd>& pds,
+    std::size_t max_rounds = 64);
+
+}  // namespace psem
+
+#endif  // PSEM_CONSISTENCY_REPAIR_H_

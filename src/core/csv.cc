@@ -1,0 +1,119 @@
+#include "core/csv.h"
+
+#include "util/strings.h"
+
+namespace psem {
+
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote in the middle of a field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+Result<std::size_t> LoadCsvRelation(const std::string& csv_text, Database* db,
+                                    const std::string& name) {
+  std::vector<std::string> lines;
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= csv_text.size(); ++i) {
+      if (i == csv_text.size() || csv_text[i] == '\n') {
+        std::string line = csv_text.substr(start, i - start);
+        if (!StripAsciiWhitespace(line).empty()) lines.push_back(line);
+        start = i + 1;
+      }
+    }
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("CSV needs a header row");
+  }
+  PSEM_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        ParseCsvRecord(lines[0]));
+  for (auto& h : header) {
+    h = std::string(StripAsciiWhitespace(h));
+    if (!IsIdentifier(h)) {
+      return Status::InvalidArgument("header field '" + h +
+                                     "' is not a valid attribute name");
+    }
+  }
+  std::size_t ri = db->AddRelation(name, header);
+  Relation& r = db->relation(ri);
+  for (std::size_t l = 1; l < lines.size(); ++l) {
+    PSEM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ParseCsvRecord(lines[l]));
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(l) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    r.AddRow(&db->symbols(), fields);
+  }
+  return ri;
+}
+
+namespace {
+
+std::string QuoteIfNeeded(const std::string& s) {
+  bool needs = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string DumpCsvRelation(const Database& db, const Relation& r) {
+  std::string out;
+  for (std::size_t c = 0; c < r.arity(); ++c) {
+    if (c > 0) out += ",";
+    out += db.universe().NameOf(r.schema().attrs[c]);
+  }
+  out += "\n";
+  for (const Tuple& t : r.rows()) {
+    for (std::size_t c = 0; c < r.arity(); ++c) {
+      if (c > 0) out += ",";
+      out += QuoteIfNeeded(db.symbols().NameOf(t[c]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace psem

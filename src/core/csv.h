@@ -1,0 +1,31 @@
+// CSV import/export for relations — the practical on-ramp for the
+// profiler and CLI: load a table, mine its dependencies, reason about
+// them. Deliberately small: comma separator, optional double-quote
+// quoting with "" escapes, first record is the header (attribute names).
+
+#ifndef PSEM_CORE_CSV_H_
+#define PSEM_CORE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Parses CSV text into a fresh relation of `db` named `name`. The header
+/// row supplies attribute names (must be identifiers). Rows with a
+/// mismatched field count are an error. Returns the relation index.
+Result<std::size_t> LoadCsvRelation(const std::string& csv_text, Database* db,
+                                    const std::string& name = "csv");
+
+/// Serializes a relation as CSV (header + rows, quoting where needed).
+std::string DumpCsvRelation(const Database& db, const Relation& r);
+
+/// Splits one CSV record into fields (exposed for testing).
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_CSV_H_

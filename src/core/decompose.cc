@@ -1,0 +1,256 @@
+#include "core/decompose.h"
+
+#include <algorithm>
+
+#include "chase/tableau.h"
+
+namespace psem {
+
+namespace {
+
+AttrSet Resize(const AttrSet& s, std::size_t n) {
+  if (s.size() == n) return s;
+  AttrSet out(n);
+  s.ForEach([&](std::size_t i) { out.Set(i); });
+  return out;
+}
+
+// Finds a BCNF violation of `scheme` via the pair reduction: a set
+// X = scheme - {A, B} with A in X+ - X and B not in X+. Returns the lhs X
+// and the violating attribute A through the out-params.
+bool FindBcnfViolation(const FdTheory& theory, const AttrSet& scheme,
+                       AttrSet* lhs, std::size_t* attr) {
+  const std::size_t n = theory.universe()->size();
+  AttrSet s = Resize(scheme, n);
+  std::vector<std::size_t> attrs;
+  s.ForEach([&](std::size_t a) { attrs.push_back(a); });
+  if (attrs.size() <= 2) return false;  // two-attribute schemes are BCNF
+  for (std::size_t a : attrs) {
+    for (std::size_t b : attrs) {
+      if (a == b) continue;
+      AttrSet x = s;
+      x.Reset(a);
+      x.Reset(b);
+      AttrSet closure = theory.Closure(x);
+      if (closure.Test(a) && !closure.Test(b)) {
+        *lhs = x;
+        *attr = a;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsBcnf(const FdTheory& theory, const AttrSet& scheme) {
+  AttrSet lhs;
+  std::size_t attr;
+  return !FindBcnfViolation(theory, scheme, &lhs, &attr);
+}
+
+std::vector<AttrSet> DecomposeBcnf(const FdTheory& theory,
+                                   const AttrSet& scheme) {
+  const std::size_t n = theory.universe()->size();
+  std::vector<AttrSet> work = {Resize(scheme, n)};
+  std::vector<AttrSet> done;
+  while (!work.empty()) {
+    AttrSet r = work.back();
+    work.pop_back();
+    AttrSet x;
+    std::size_t a;
+    if (!FindBcnfViolation(theory, r, &x, &a)) {
+      done.push_back(r);
+      continue;
+    }
+    // Split on X -> (X+ ∩ R): R1 = X+ ∩ R, R2 = X u (R - X+).
+    AttrSet closure = theory.Closure(x);
+    AttrSet r1 = closure;
+    r1.IntersectWith(r);
+    AttrSet r2 = r;
+    r2.SubtractWith(closure);
+    r2.UnionWith(x);
+    work.push_back(r1);
+    work.push_back(r2);
+  }
+  // Deduplicate, then drop schemes strictly contained in another.
+  std::vector<AttrSet> unique;
+  for (const AttrSet& r : done) {
+    if (std::find(unique.begin(), unique.end(), r) == unique.end()) {
+      unique.push_back(r);
+    }
+  }
+  std::vector<AttrSet> out;
+  for (const AttrSet& r : unique) {
+    bool subsumed = false;
+    for (const AttrSet& other : unique) {
+      if (!(r == other) && r.IsSubsetOf(other)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AttrSet> Synthesize3nf(const FdTheory& theory,
+                                   const AttrSet& scheme) {
+  const std::size_t n = theory.universe()->size();
+  AttrSet s = Resize(scheme, n);
+  std::vector<Fd> cover = theory.MinimalCover();
+  // Keep only FDs applicable to the scheme.
+  std::vector<Fd> applicable;
+  for (const Fd& fd : cover) {
+    AttrSet both = Resize(fd.lhs, n);
+    both.UnionWith(Resize(fd.rhs, n));
+    if (both.IsSubsetOf(s)) applicable.push_back(fd);
+  }
+  // One scheme per lhs group: the lhs plus every rhs it determines in the
+  // cover.
+  std::vector<AttrSet> schemes;
+  for (const Fd& fd : applicable) {
+    AttrSet grp = Resize(fd.lhs, n);
+    for (const Fd& other : applicable) {
+      if (Resize(other.lhs, n) == Resize(fd.lhs, n)) {
+        grp.UnionWith(Resize(other.rhs, n));
+      }
+    }
+    schemes.push_back(grp);
+  }
+  // Attributes not mentioned by any FD get their own scheme (or join the
+  // key scheme below); standard synthesis keeps them with a key.
+  // Add a key scheme if none contains a key.
+  std::vector<AttrSet> keys = theory.Keys(s);
+  bool has_key = false;
+  for (const AttrSet& r : schemes) {
+    for (const AttrSet& k : keys) {
+      if (k.IsSubsetOf(r)) {
+        has_key = true;
+        break;
+      }
+    }
+    if (has_key) break;
+  }
+  if (!has_key && !keys.empty()) schemes.push_back(keys[0]);
+  // Cover attributes missed entirely (no FD touches them): extend the key
+  // scheme (they are necessarily part of every key, so keys[0] already
+  // contains them when keys were computed over `s`).
+  // Drop subsumed schemes.
+  std::vector<AttrSet> out;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < schemes.size(); ++j) {
+      if (i == j) continue;
+      if (schemes[i] == schemes[j] && j < i) {
+        subsumed = true;
+        break;
+      }
+      if (!(schemes[i] == schemes[j]) && schemes[i].IsSubsetOf(schemes[j])) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) out.push_back(schemes[i]);
+  }
+  return out;
+}
+
+bool HasLosslessJoin(const FdTheory& theory, const AttrSet& scheme,
+                     const std::vector<AttrSet>& parts) {
+  const std::size_t n = theory.universe()->size();
+  AttrSet s = Resize(scheme, n);
+  // Classic tableau: one row per part; shared constant a_<attr> on the
+  // part's attributes, unique nulls elsewhere. Reuse the representative-
+  // tableau + chase machinery by building a one-tuple relation per part.
+  Database db;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    AttrSet p = Resize(parts[i], n);
+    std::vector<std::string> attr_names;
+    std::vector<std::string> row;
+    p.ForEach([&](std::size_t a) {
+      attr_names.push_back(theory.universe()->NameOf(static_cast<RelAttrId>(a)));
+      row.push_back("a_" + attr_names.back());
+    });
+    if (attr_names.empty()) continue;
+    std::size_t ri = db.AddRelation("part" + std::to_string(i), attr_names);
+    db.relation(ri).AddRow(&db.symbols(), row);
+  }
+  // Columns of db's universe correspond to the subset of attributes used;
+  // chase and look for a row that is total (all constants) on `scheme`.
+  Tableau t = Tableau::Representative(db, db.universe().size());
+  // Translate the theory's FDs into db-universe ids by name.
+  std::vector<Fd> fds;
+  for (const Fd& fd : theory.fds()) {
+    AttrSet lhs(db.universe().size()), rhs(db.universe().size());
+    bool ok = true;
+    Resize(fd.lhs, n).ForEach([&](std::size_t a) {
+      auto id = db.universe().Require(
+          theory.universe()->NameOf(static_cast<RelAttrId>(a)));
+      if (id.ok()) {
+        lhs.Set(*id);
+      } else {
+        ok = false;  // lhs attr outside all parts: FD can never fire
+      }
+    });
+    if (!ok) continue;
+    Resize(fd.rhs, n).ForEach([&](std::size_t a) {
+      auto id = db.universe().Require(
+          theory.universe()->NameOf(static_cast<RelAttrId>(a)));
+      if (id.ok()) rhs.Set(*id);
+    });
+    if (rhs.Any()) fds.push_back(Fd{lhs, rhs});
+  }
+  ChaseResult chase = ChaseWithFds(&t, fds);
+  if (!chase.consistent) return false;  // cannot happen: no conflicting constants
+  // A winning row: total (constant) on every scheme attribute present in
+  // the db universe — and the scheme must be covered by the parts.
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!s.Test(a)) continue;
+    if (!db.universe()
+             .Require(theory.universe()->NameOf(static_cast<RelAttrId>(a)))
+             .ok()) {
+      return false;  // some scheme attribute is in no part
+    }
+  }
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    bool total = true;
+    for (std::size_t a = 0; a < n && total; ++a) {
+      if (!s.Test(a)) continue;
+      auto id = db.universe().Require(
+          theory.universe()->NameOf(static_cast<RelAttrId>(a)));
+      uint32_t cls = t.Resolve(r, *id);
+      total = t.ConstantOf(cls) != Tableau::kNoConstant;
+    }
+    if (total) return true;
+  }
+  return false;
+}
+
+bool PreservesDependencies(const FdTheory& theory,
+                           const std::vector<AttrSet>& parts) {
+  const std::size_t n = theory.universe()->size();
+  for (const Fd& fd : theory.fds()) {
+    // Iterated restricted closure: grow Z from lhs using only what the
+    // projected dependencies can transport.
+    AttrSet z = Resize(fd.lhs, n);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const AttrSet& part : parts) {
+        AttrSet p = Resize(part, n);
+        AttrSet zp = z;
+        zp.IntersectWith(p);
+        if (!zp.Any()) continue;
+        AttrSet grown = theory.Closure(zp);
+        grown.IntersectWith(p);
+        changed |= z.UnionWith(grown);
+      }
+    }
+    if (!Resize(fd.rhs, n).IsSubsetOf(z)) return false;
+  }
+  return true;
+}
+
+}  // namespace psem

@@ -1,0 +1,53 @@
+// Normalization-theory toolkit on top of FdTheory: BCNF decomposition,
+// 3NF synthesis, the lossless-join test (run as a chase over our own
+// tableau machinery — the same chase that decides weak-instance
+// consistency in Section 4.3), and the polynomial dependency-preservation
+// test. These are the classical design algorithms the paper's FD fragment
+// (Section 5.3) plugs into; the tests verify losslessness and
+// preservation properties on random theories.
+
+#ifndef PSEM_CORE_DECOMPOSE_H_
+#define PSEM_CORE_DECOMPOSE_H_
+
+#include <vector>
+
+#include "core/fd_theory.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// True iff `scheme` is in BCNF under the theory: no nontrivial FD
+/// X -> A applicable within the scheme has a non-superkey lhs. Uses the
+/// pair reduction (R violates BCNF iff some X = R - {A,B} does), which
+/// makes the test polynomial despite projected dependencies.
+bool IsBcnf(const FdTheory& theory, const AttrSet& scheme);
+
+/// Recursively splits `scheme` on BCNF violations. Every output scheme is
+/// in BCNF and the decomposition has a lossless join (each split is along
+/// a closure). Dependency preservation is NOT guaranteed (it cannot be,
+/// in general, for BCNF).
+std::vector<AttrSet> DecomposeBcnf(const FdTheory& theory,
+                                   const AttrSet& scheme);
+
+/// Bernstein-style 3NF synthesis from a minimal cover: one scheme per
+/// lhs-group, plus a key scheme when no group contains a key; subsumed
+/// schemes dropped. Lossless and dependency preserving.
+std::vector<AttrSet> Synthesize3nf(const FdTheory& theory,
+                                   const AttrSet& scheme);
+
+/// The classical chase test: does the decomposition join losslessly under
+/// the theory? Builds the one-row-per-part tableau and chases with the
+/// FDs; lossless iff some row goes total on `scheme`.
+bool HasLosslessJoin(const FdTheory& theory, const AttrSet& scheme,
+                     const std::vector<AttrSet>& parts);
+
+/// Polynomial dependency-preservation test: every FD of the theory is
+/// implied by the union of its projections onto the parts (computed
+/// without materializing the exponential projections, via the iterated
+/// restricted-closure algorithm).
+bool PreservesDependencies(const FdTheory& theory,
+                           const std::vector<AttrSet>& parts);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_DECOMPOSE_H_

@@ -1,0 +1,61 @@
+#include "core/dot_export.h"
+
+namespace psem {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportLatticeDot(const FiniteLattice& l,
+                             const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=BT;\n  node [shape=ellipse];\n";
+  for (LatticeElem x = 0; x < l.size(); ++x) {
+    out += "  n" + std::to_string(x) + " [label=\"" + EscapeDot(l.NameOf(x)) +
+           "\"];\n";
+  }
+  for (LatticeElem x = 0; x < l.size(); ++x) {
+    for (LatticeElem c : l.CoversOf(x)) {
+      out += "  n" + std::to_string(x) + " -> n" + std::to_string(c) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ExportProofDot(const ExprArena& arena, const Proof& proof,
+                           const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=TB;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < proof.steps.size(); ++i) {
+    const ProofStep& s = proof.steps[i];
+    std::string label = arena.ToString(s.lhs) + " <= " + arena.ToString(s.rhs);
+    out += "  s" + std::to_string(i) + " [label=\"" + EscapeDot(label) +
+           "\"];\n";
+  }
+  for (std::size_t i = 0; i < proof.steps.size(); ++i) {
+    const ProofStep& s = proof.steps[i];
+    for (uint32_t prem : {s.premise1, s.premise2}) {
+      if (prem != ProofStep::kNoPremise) {
+        out += "  s" + std::to_string(prem) + " -> s" + std::to_string(i) +
+               ";\n";
+      }
+    }
+  }
+  // Highlight the goal.
+  out += "  s" + std::to_string(proof.steps.size() - 1) +
+         " [style=bold, color=blue];\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace psem

@@ -1,0 +1,27 @@
+// Graphviz (DOT) exporters: Hasse diagrams of finite lattices and
+// derivation DAGs of proofs. `dot -Tsvg` renders them; tests check the
+// structural content (nodes, cover edges) rather than pixels.
+
+#ifndef PSEM_CORE_DOT_EXPORT_H_
+#define PSEM_CORE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "core/proof.h"
+#include "lattice/finite_lattice.h"
+
+namespace psem {
+
+/// The Hasse diagram of `l` as a DOT digraph (edges point from lower to
+/// upper cover; rank direction bottom-to-top).
+std::string ExportLatticeDot(const FiniteLattice& l,
+                             const std::string& graph_name = "lattice");
+
+/// The proof DAG: one node per step (labelled with its arc and rule),
+/// edges from premises to conclusions.
+std::string ExportProofDot(const ExprArena& arena, const Proof& proof,
+                           const std::string& graph_name = "proof");
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_DOT_EXPORT_H_

@@ -1,0 +1,180 @@
+#include "core/fd_theory.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace psem {
+
+Status FdTheory::AddParsed(std::string_view text) {
+  PSEM_ASSIGN_OR_RETURN(Fd fd, Fd::Parse(universe_, text));
+  Add(std::move(fd));
+  return Status::OK();
+}
+
+namespace {
+
+// Grows a set to the current universe size (sets created before later
+// Intern calls may be short).
+AttrSet Resize(const AttrSet& s, std::size_t n) {
+  if (s.size() == n) return s;
+  AttrSet out(n);
+  s.ForEach([&](std::size_t i) { out.Set(i); });
+  return out;
+}
+
+}  // namespace
+
+AttrSet FdTheory::Closure(const AttrSet& x) const {
+  const std::size_t n = universe_->size();
+  AttrSet closure = Resize(x, n);
+  // Beeri–Bernstein: counter of missing lhs attributes per FD; per-attr
+  // list of FDs whose lhs mention it.
+  std::vector<uint32_t> missing(fds_.size(), 0);
+  std::vector<std::vector<uint32_t>> fds_on_attr(n);
+  std::queue<uint32_t> work;
+  for (std::size_t f = 0; f < fds_.size(); ++f) {
+    AttrSet lhs = Resize(fds_[f].lhs, n);
+    lhs.ForEach([&](std::size_t a) {
+      if (!closure.Test(a)) {
+        ++missing[f];
+        fds_on_attr[a].push_back(static_cast<uint32_t>(f));
+      }
+    });
+    if (missing[f] == 0) {
+      Resize(fds_[f].rhs, n).ForEach([&](std::size_t a) {
+        if (!closure.Test(a)) {
+          closure.Set(a);
+          work.push(static_cast<uint32_t>(a));
+        }
+      });
+    }
+  }
+  while (!work.empty()) {
+    uint32_t a = work.front();
+    work.pop();
+    for (uint32_t f : fds_on_attr[a]) {
+      if (--missing[f] == 0) {
+        Resize(fds_[f].rhs, n).ForEach([&](std::size_t b) {
+          if (!closure.Test(b)) {
+            closure.Set(b);
+            work.push(static_cast<uint32_t>(b));
+          }
+        });
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdTheory::Implies(const Fd& fd) const {
+  const std::size_t n = universe_->size();
+  return Resize(fd.rhs, n).IsSubsetOf(Closure(fd.lhs));
+}
+
+bool FdTheory::EquivalentTo(const FdTheory& other) const {
+  for (const Fd& fd : other.fds_) {
+    if (!Implies(fd)) return false;
+  }
+  for (const Fd& fd : fds_) {
+    if (!other.Implies(fd)) return false;
+  }
+  return true;
+}
+
+AttrSet FdTheory::MinimizeKey(AttrSet key, const AttrSet& scheme) const {
+  const std::size_t n = universe_->size();
+  key = Resize(key, n);
+  AttrSet target = Resize(scheme, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!key.Test(a)) continue;
+    AttrSet smaller = key;
+    smaller.Reset(a);
+    if (!smaller.Any()) continue;
+    if (target.IsSubsetOf(Closure(smaller))) key = smaller;
+  }
+  return key;
+}
+
+std::vector<AttrSet> FdTheory::Keys(const AttrSet& scheme) const {
+  const std::size_t n = universe_->size();
+  AttrSet target = Resize(scheme, n);
+  std::vector<AttrSet> keys;
+  keys.push_back(MinimizeKey(target, target));
+  // Lucchesi–Osborn: for each known key K and FD X -> Y, the set
+  // X u (K - Y) is a superkey; if no known key is contained in it, its
+  // minimization is a new key.
+  for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+    for (const Fd& fd : fds_) {
+      AttrSet candidate = Resize(fd.lhs, n);
+      candidate.IntersectWith(target);  // keep within the scheme
+      AttrSet rest = keys[ki];
+      rest.SubtractWith(Resize(fd.rhs, n));
+      candidate.UnionWith(rest);
+      if (!candidate.Any()) continue;
+      if (!target.IsSubsetOf(Closure(candidate))) continue;
+      bool dominated = false;
+      for (const AttrSet& k : keys) {
+        if (k.IsSubsetOf(candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) keys.push_back(MinimizeKey(candidate, target));
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const AttrSet& a, const AttrSet& b) {
+    if (a.Count() != b.Count()) return a.Count() < b.Count();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a.Test(i) != b.Test(i)) return a.Test(i);
+    }
+    return false;
+  });
+  return keys;
+}
+
+std::vector<Fd> FdTheory::MinimalCover() const {
+  const std::size_t n = universe_->size();
+  // 1. Singleton right-hand sides.
+  std::vector<Fd> cover;
+  for (const Fd& fd : fds_) {
+    Resize(fd.rhs, n).ForEach([&](std::size_t b) {
+      AttrSet rhs(n);
+      rhs.Set(b);
+      cover.push_back(Fd{Resize(fd.lhs, n), rhs});
+    });
+  }
+  FdTheory full(universe_);
+  full.fds_ = cover;
+  // 2. Remove extraneous lhs attributes.
+  for (Fd& fd : full.fds_) {
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!fd.lhs.Test(a)) continue;
+      AttrSet smaller = fd.lhs;
+      smaller.Reset(a);
+      if (!smaller.Any()) continue;
+      if (fd.rhs.IsSubsetOf(full.Closure(smaller))) fd.lhs = smaller;
+    }
+  }
+  // 3. Deduplicate, then remove redundant FDs one at a time, testing each
+  // against the remaining cover.
+  std::vector<Fd> current;
+  for (const Fd& fd : full.fds_) {
+    if (std::find(current.begin(), current.end(), fd) == current.end()) {
+      current.push_back(fd);
+    }
+  }
+  for (std::size_t i = 0; i < current.size();) {
+    FdTheory without(universe_);
+    for (std::size_t j = 0; j < current.size(); ++j) {
+      if (j != i) without.Add(current[j]);
+    }
+    if (without.Implies(current[i])) {
+      current.erase(current.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return current;
+}
+
+}  // namespace psem

@@ -1,0 +1,61 @@
+// FD reasoning — the idempotent-commutative-semigroup fragment of PD
+// implication (Section 5.3). FD implication is decided by the classical
+// linear-time attribute-set closure (Beeri–Bernstein [3]); the property
+// tests verify it agrees with Algorithm ALG run on the FPD encodings of
+// the same FDs, which is the paper's reduction in both directions.
+
+#ifndef PSEM_CORE_FD_THEORY_H_
+#define PSEM_CORE_FD_THEORY_H_
+
+#include <vector>
+
+#include "relational/dependency.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// A set of FDs over a universe, with the standard inference toolkit.
+class FdTheory {
+ public:
+  /// The theory keeps the pointer; `universe` must outlive it. New
+  /// attributes may be interned into the universe by Add/Parse.
+  explicit FdTheory(Universe* universe) : universe_(universe) {}
+
+  void Add(Fd fd) { fds_.push_back(std::move(fd)); }
+
+  /// Parses and adds "A B -> C".
+  Status AddParsed(std::string_view text);
+
+  const std::vector<Fd>& fds() const { return fds_; }
+  Universe* universe() const { return universe_; }
+
+  /// X+ : the closure of X under the FDs (all attributes functionally
+  /// determined by X). Linear in the total size of the FD set.
+  AttrSet Closure(const AttrSet& x) const;
+
+  /// Sigma |= X -> Y iff Y is contained in X+ (Armstrong-completeness).
+  bool Implies(const Fd& fd) const;
+
+  /// True iff the two theories imply each other (same closure operator).
+  bool EquivalentTo(const FdTheory& other) const;
+
+  /// All minimal keys of a relation scheme with attribute set `scheme`
+  /// (Lucchesi–Osborn enumeration; output size can be exponential).
+  std::vector<AttrSet> Keys(const AttrSet& scheme) const;
+
+  /// A minimal cover: singleton right-hand sides, no extraneous left-hand
+  /// attributes, no redundant FDs; equivalent to this theory.
+  std::vector<Fd> MinimalCover() const;
+
+ private:
+  /// Shrinks `key` to a minimal superkey of `scheme`.
+  AttrSet MinimizeKey(AttrSet key, const AttrSet& scheme) const;
+
+  Universe* universe_;
+  std::vector<Fd> fds_;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_FD_THEORY_H_

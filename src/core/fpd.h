@@ -1,0 +1,43 @@
+// The FD <-> FPD correspondence of Section 4.1 and Example f. A
+// functional partition dependency (FPD) is a PD of the form X = X * Y
+// (equivalently Y = Y + X, equivalently X <= Y in the lattice order); by
+// Theorem 3 it is the exact partition-semantic counterpart of the FD
+// X -> Y: for every relation r, r |= X -> Y iff I(r) |= X = X * Y.
+
+#ifndef PSEM_CORE_FPD_H_
+#define PSEM_CORE_FPD_H_
+
+#include <optional>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "relational/dependency.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// The FPD X <= Y (i.e. the equation X = X * Y) for the FD X -> Y.
+/// Attribute sets become left-nested products in universe-name order.
+Pd FdToFpd(const Universe& universe, ExprArena* arena, const Fd& fd);
+
+/// Encodes a whole FD set.
+std::vector<Pd> FdsToFpds(const Universe& universe, ExprArena* arena,
+                          const std::vector<Fd>& fds);
+
+/// The three equivalent spellings of an FPD (Section 3.2): given the FD
+/// X -> Y, returns {X = X*Y, Y = Y+X, X <= Y} for testing their mutual
+/// equivalence.
+std::vector<Pd> FpdSpellings(const Universe& universe, ExprArena* arena,
+                             const Fd& fd);
+
+/// If `pd` is syntactically an FPD — a `<=` between two pure products of
+/// attributes, or an equation X = X*Y with X, Y pure attribute products —
+/// returns the corresponding FD over `universe` (attributes are interned
+/// by name). Otherwise nullopt.
+std::optional<Fd> FpdToFd(const ExprArena& arena, Universe* universe,
+                          const Pd& pd);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_FPD_H_

@@ -1,0 +1,202 @@
+#include "core/implication.h"
+
+#include <cassert>
+#include <set>
+
+namespace psem {
+
+PdImplicationEngine::PdImplicationEngine(const ExprArena* arena,
+                                         std::vector<Pd> constraints)
+    : arena_(arena), constraints_(std::move(constraints)) {
+  for (const Pd& pd : constraints_) {
+    AddVertex(pd.lhs);
+    AddVertex(pd.rhs);
+  }
+}
+
+void PdImplicationEngine::AddVertex(ExprId e) {
+  if (vertex_of_.count(e)) return;
+  // Children first so child indices exist.
+  if (!arena_->IsAttr(e)) {
+    AddVertex(arena_->LhsOf(e));
+    AddVertex(arena_->RhsOf(e));
+  }
+  uint32_t idx = static_cast<uint32_t>(vertices_.size());
+  vertices_.push_back(e);
+  vertex_of_.emplace(e, idx);
+  kind_.push_back(arena_->KindOf(e));
+  if (arena_->IsAttr(e)) {
+    lhs_.push_back(kNoVertex);
+    rhs_.push_back(kNoVertex);
+  } else {
+    lhs_.push_back(vertex_of_.at(arena_->LhsOf(e)));
+    rhs_.push_back(vertex_of_.at(arena_->RhsOf(e)));
+  }
+  closure_valid_ = false;
+}
+
+void PdImplicationEngine::ComputeClosure() {
+  const std::size_t n = vertices_.size();
+  up_.assign(n, DynamicBitset(n));
+  // Rule 1 (generalized): <=_E is reflexive. ALG seeds (A, A) for
+  // attributes only and derives reflexivity of composites via rules 3/4
+  // (resp. 5/2); seeding all vertices is sound and saves passes.
+  for (std::size_t i = 0; i < n; ++i) up_[i].Set(i);
+  // Rule 6: each constraint contributes its arc(s).
+  for (const Pd& pd : constraints_) {
+    uint32_t l = vertex_of_.at(pd.lhs);
+    uint32_t r = vertex_of_.at(pd.rhs);
+    up_[l].Set(r);
+    if (pd.is_equation) up_[r].Set(l);
+  }
+
+  // Fixpoint over rules 2-5 and 7, alternating row-space (up) and
+  // column-space (down) formulations.
+  std::vector<DynamicBitset> down(n, DynamicBitset(n));
+  std::size_t passes = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++passes;
+    // Rule 7 (transitivity), one sweep: up[i] |= up[j] for j in up[i].
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = up_[i].NextSetBit(0); j < n;
+           j = up_[i].NextSetBit(j + 1)) {
+        if (j != i) changed |= up_[i].UnionWith(up_[j]);
+      }
+    }
+    // Rule 3: (p, s) or (q, s) => (p*q, s).
+    // Rule 2: (p, s) and (q, s) => (p+q, s).
+    for (std::size_t m = 0; m < n; ++m) {
+      if (kind_[m] == ExprKind::kProduct) {
+        changed |= up_[m].UnionWith(up_[lhs_[m]]);
+        changed |= up_[m].UnionWith(up_[rhs_[m]]);
+      } else if (kind_[m] == ExprKind::kSum) {
+        changed |= up_[m].UnionWithAnd(up_[lhs_[m]], up_[rhs_[m]]);
+      }
+    }
+    // Transpose into down.
+    for (std::size_t i = 0; i < n; ++i) down[i].Clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = up_[i].NextSetBit(0); j < n;
+           j = up_[i].NextSetBit(j + 1)) {
+        down[j].Set(i);
+      }
+    }
+    // Rule 5: (s, p) or (s, q) => (s, p+q).
+    // Rule 4: (s, p) and (s, q) => (s, p*q).
+    for (std::size_t m = 0; m < n; ++m) {
+      if (kind_[m] == ExprKind::kSum) {
+        changed |= down[m].UnionWith(down[lhs_[m]]);
+        changed |= down[m].UnionWith(down[rhs_[m]]);
+      } else if (kind_[m] == ExprKind::kProduct) {
+        changed |= down[m].UnionWithAnd(down[lhs_[m]], down[rhs_[m]]);
+      }
+    }
+    // Transpose back into up.
+    for (std::size_t i = 0; i < n; ++i) up_[i].Clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = down[j].NextSetBit(0); i < n;
+           i = down[j].NextSetBit(i + 1)) {
+        up_[i].Set(j);
+      }
+    }
+  }
+
+  stats_.num_vertices = n;
+  stats_.passes = passes;
+  stats_.num_arcs = 0;
+  for (std::size_t i = 0; i < n; ++i) stats_.num_arcs += up_[i].Count();
+  closure_valid_ = true;
+}
+
+void PdImplicationEngine::Prepare(const std::vector<ExprId>& exprs) {
+  for (ExprId e : exprs) AddVertex(e);
+  if (!closure_valid_) ComputeClosure();
+}
+
+bool PdImplicationEngine::LeqInClosure(ExprId e1, ExprId e2) const {
+  assert(closure_valid_);
+  auto i = vertex_of_.find(e1);
+  auto j = vertex_of_.find(e2);
+  assert(i != vertex_of_.end() && j != vertex_of_.end());
+  return up_[i->second].Test(j->second);
+}
+
+bool PdImplicationEngine::ImpliesLeq(ExprId e1, ExprId e2) {
+  Prepare({e1, e2});
+  return LeqInClosure(e1, e2);
+}
+
+bool PdImplicationEngine::Implies(const Pd& query) {
+  Prepare({query.lhs, query.rhs});
+  bool fwd = LeqInClosure(query.lhs, query.rhs);
+  if (!query.is_equation) return fwd;
+  return fwd && LeqInClosure(query.rhs, query.lhs);
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference: the seven rules of ALG, applied literally until no new
+// arc can be added.
+// ---------------------------------------------------------------------------
+
+bool NaivePdImplication(const ExprArena& arena, const std::vector<Pd>& e,
+                        const Pd& query) {
+  // V: subexpressions of E, e, e'.
+  std::set<ExprId> seen;
+  std::vector<ExprId> v;
+  for (const Pd& pd : e) {
+    arena.CollectSubexprs(pd.lhs, &seen, &v);
+    arena.CollectSubexprs(pd.rhs, &seen, &v);
+  }
+  arena.CollectSubexprs(query.lhs, &seen, &v);
+  arena.CollectSubexprs(query.rhs, &seen, &v);
+
+  std::set<std::pair<ExprId, ExprId>> gamma;
+  auto has = [&](ExprId a, ExprId b) { return gamma.count({a, b}) > 0; };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto add = [&](ExprId a, ExprId b) {
+      if (gamma.insert({a, b}).second) changed = true;
+    };
+    // Step 1: (A, A) for attributes.
+    for (ExprId x : v) {
+      if (arena.IsAttr(x)) add(x, x);
+    }
+    // Step 6: constraint arcs.
+    for (const Pd& pd : e) {
+      add(pd.lhs, pd.rhs);
+      if (pd.is_equation) add(pd.rhs, pd.lhs);
+    }
+    for (ExprId x : v) {
+      if (arena.IsAttr(x)) continue;
+      ExprId p = arena.LhsOf(x), q = arena.RhsOf(x);
+      for (ExprId s : v) {
+        if (arena.KindOf(x) == ExprKind::kSum) {
+          // Step 2: (p,s) and (q,s) => (p+q, s).
+          if (has(p, s) && has(q, s)) add(x, s);
+          // Step 5: (s,p) or (s,q) => (s, p+q).
+          if (has(s, p) || has(s, q)) add(s, x);
+        } else {
+          // Step 3: (p,s) or (q,s) => (p*q, s).
+          if (has(p, s) || has(q, s)) add(x, s);
+          // Step 4: (s,p) and (s,q) => (s, p*q).
+          if (has(s, p) && has(s, q)) add(s, x);
+        }
+      }
+    }
+    // Step 7: transitivity.
+    for (const auto& [a, b] : std::set<std::pair<ExprId, ExprId>>(gamma)) {
+      for (ExprId c : v) {
+        if (has(b, c)) add(a, c);
+      }
+    }
+  }
+  bool fwd = has(query.lhs, query.rhs);
+  if (!query.is_equation) return fwd;
+  return fwd && has(query.rhs, query.lhs);
+}
+
+}  // namespace psem

@@ -1,0 +1,91 @@
+// PD implication — the uniform word problem for lattices (Section 5).
+//
+// Given a finite set E of PDs and a query PD delta, Theorem 8 shows the
+// following are all equivalent: delta holds in every lattice satisfying E,
+// in every finite such lattice, in every relation satisfying E, and in
+// every finite such relation. Algorithm ALG (Section 5.2) decides this in
+// polynomial time: build the set V of all subexpressions of E and the
+// query, then close a digraph Gamma over V under seven arc rules; the
+// query e <= e' is implied iff the arc (e, e') appears (Lemma 9.2).
+//
+// PdImplicationEngine implements ALG with bit-parallel row operations on
+// the arc matrix (a straightforward implementation is O(n^4); the bitset
+// representation divides the constant by 64). NaivePdImplication applies
+// the seven rules literally, arc by arc, as a slow reference for
+// differential tests.
+
+#ifndef PSEM_CORE_IMPLICATION_H_
+#define PSEM_CORE_IMPLICATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Counters from the most recent closure computation.
+struct AlgStats {
+  std::size_t num_vertices = 0;  ///< |V|: distinct subexpressions.
+  std::size_t num_arcs = 0;      ///< arcs in the final Gamma.
+  std::size_t passes = 0;        ///< fixpoint sweeps over the rules.
+};
+
+/// Decides E |= e = e' / e <= e' by Algorithm ALG. Queries may introduce
+/// new subexpressions; the engine extends V and recomputes the closure
+/// lazily when that happens.
+class PdImplicationEngine {
+ public:
+  /// The engine keeps a pointer to `arena`; it must outlive the engine.
+  PdImplicationEngine(const ExprArena* arena, std::vector<Pd> constraints);
+
+  /// E |=_lat query — equivalently |=_fin, |=_rel, |=_rel,fin (Theorem 8).
+  bool Implies(const Pd& query);
+
+  /// E |= e <= e'.
+  bool ImpliesLeq(ExprId e1, ExprId e2);
+
+  /// Ensures all of `exprs` are vertices of V and the closure is current.
+  /// After this, LeqInClosure may be used for any pair of them.
+  void Prepare(const std::vector<ExprId>& exprs);
+
+  /// Arc lookup in the computed closure. Both expressions must have been
+  /// passed to Prepare (or appear in the constraints).
+  bool LeqInClosure(ExprId e1, ExprId e2) const;
+
+  const AlgStats& stats() const { return stats_; }
+  const std::vector<Pd>& constraints() const { return constraints_; }
+  const ExprArena& arena() const { return *arena_; }
+
+ private:
+  void AddVertex(ExprId e);
+  void ComputeClosure();
+
+  const ExprArena* arena_;
+  std::vector<Pd> constraints_;
+
+  std::vector<ExprId> vertices_;                    // index -> ExprId
+  std::unordered_map<ExprId, uint32_t> vertex_of_;  // ExprId -> index
+  // Children as vertex indices (kNoVertex for attribute leaves).
+  static constexpr uint32_t kNoVertex = UINT32_MAX;
+  std::vector<uint32_t> lhs_, rhs_;
+  std::vector<ExprKind> kind_;
+
+  // up_[i] bit j set <=> arc (i, j) in Gamma, i.e. i <=_E j.
+  std::vector<DynamicBitset> up_;
+  bool closure_valid_ = false;
+  AlgStats stats_;
+};
+
+/// Literal transcription of ALG (Section 5.2): a worklist of arcs, the
+/// seven rules applied one arc at a time. Exponentially clearer, far
+/// slower; used to differential-test the engine.
+bool NaivePdImplication(const ExprArena& arena, const std::vector<Pd>& e,
+                        const Pd& query);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_IMPLICATION_H_

@@ -1,0 +1,123 @@
+#include "core/io.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace psem {
+
+namespace {
+
+// Strips a trailing comment and surrounding whitespace.
+std::string_view CleanLine(std::string_view line) {
+  std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return StripAsciiWhitespace(line);
+}
+
+}  // namespace
+
+Status LoadDatabaseText(const std::string& text, Database* db) {
+  std::size_t line_no = 0;
+  for (const std::string& raw : SplitAndStrip(text, '\n')) {
+    ++line_no;
+    std::string_view line = CleanLine(raw);
+    if (line.empty()) continue;
+    auto err = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     why + ": '" + std::string(line) + "'");
+    };
+    if (line.rfind("relation ", 0) == 0) {
+      std::string_view rest = line.substr(9);
+      std::size_t open = rest.find('(');
+      std::size_t close = rest.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open) {
+        return err("expected relation name(attr, ...)");
+      }
+      std::string name(StripAsciiWhitespace(rest.substr(0, open)));
+      if (!IsIdentifier(name)) return err("bad relation name");
+      std::string attrs_text(rest.substr(open + 1, close - open - 1));
+      for (char& c : attrs_text) {
+        if (c == ',') c = ' ';
+      }
+      std::vector<std::string> attrs = SplitAndStrip(attrs_text, ' ');
+      if (attrs.empty()) return err("relation needs at least one attribute");
+      for (const auto& a : attrs) {
+        if (!IsIdentifier(a)) return err("bad attribute name '" + a + "'");
+      }
+      if (db->IndexOf(name).ok()) return err("duplicate relation");
+      db->AddRelation(name, attrs);
+    } else if (line.rfind("row ", 0) == 0) {
+      std::vector<std::string> parts = SplitAndStrip(line.substr(4), ' ');
+      if (parts.empty()) return err("row needs a relation name");
+      auto idx = db->IndexOf(parts[0]);
+      if (!idx.ok()) return err("unknown relation '" + parts[0] + "'");
+      Relation& r = db->relation(*idx);
+      if (parts.size() - 1 != r.arity()) {
+        return err("expected " + std::to_string(r.arity()) + " values, got " +
+                   std::to_string(parts.size() - 1));
+      }
+      r.AddRow(&db->symbols(),
+               std::vector<std::string>(parts.begin() + 1, parts.end()));
+    } else {
+      return err("unknown statement (expected 'relation' or 'row')");
+    }
+  }
+  return Status::OK();
+}
+
+std::string DumpDatabaseText(const Database& db) {
+  std::string out;
+  for (std::size_t i = 0; i < db.num_relations(); ++i) {
+    const Relation& r = db.relation(i);
+    out += "relation " + r.schema().name + "(";
+    for (std::size_t c = 0; c < r.arity(); ++c) {
+      if (c > 0) out += ", ";
+      out += db.universe().NameOf(r.schema().attrs[c]);
+    }
+    out += ")\n";
+    for (const Tuple& t : r.rows()) {
+      out += "row " + r.schema().name;
+      for (ValueId v : t) out += " " + db.symbols().NameOf(v);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<ConstraintFile> LoadConstraintsText(const std::string& text,
+                                           ExprArena* arena,
+                                           Universe* universe) {
+  ConstraintFile out;
+  std::size_t line_no = 0;
+  for (const std::string& raw : SplitAndStrip(text, '\n')) {
+    ++line_no;
+    std::string_view line = CleanLine(raw);
+    if (line.empty()) continue;
+    auto err = [&](const std::string& why) -> Status {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     why);
+    };
+    if (line.rfind("pd ", 0) == 0) {
+      auto pd = arena->ParsePd(line.substr(3));
+      if (!pd.ok()) return err(pd.status().message());
+      // Mirror PD attributes into the universe so downstream consistency
+      // checks see them.
+      std::set<AttrId> attrs;
+      arena->CollectAttrs(pd->lhs, &attrs);
+      arena->CollectAttrs(pd->rhs, &attrs);
+      for (AttrId a : attrs) universe->Intern(arena->AttrName(a));
+      out.pds.push_back(*pd);
+    } else if (line.rfind("fd ", 0) == 0) {
+      auto fd = Fd::Parse(universe, line.substr(3));
+      if (!fd.ok()) return err(fd.status().message());
+      out.fds.push_back(*fd);
+    } else {
+      return err("unknown statement (expected 'pd' or 'fd')");
+    }
+  }
+  return out;
+}
+
+}  // namespace psem

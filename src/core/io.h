@@ -1,0 +1,47 @@
+// Plain-text loaders and dumpers for databases and dependency sets, so
+// the CLI and downstream tools can round-trip inputs without bespoke
+// parsers.
+//
+// Database format (one statement per line, '#' comments):
+//   relation emp(Name, Dept)
+//   row emp ann sales
+//   row emp bob sales
+//
+// Dependency format:
+//   pd  C = A + B
+//   pd  A <= B
+//   fd  A B -> C
+
+#ifndef PSEM_CORE_IO_H_
+#define PSEM_CORE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "relational/dependency.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Parses the database format above into `db` (appending).
+Status LoadDatabaseText(const std::string& text, Database* db);
+
+/// Serializes `db` in the same format.
+std::string DumpDatabaseText(const Database& db);
+
+/// A parsed constraint file: PDs (over `arena`) and FDs (over `universe`).
+struct ConstraintFile {
+  std::vector<Pd> pds;
+  std::vector<Fd> fds;
+};
+
+/// Parses "pd ..." / "fd ..." lines.
+Result<ConstraintFile> LoadConstraintsText(const std::string& text,
+                                           ExprArena* arena,
+                                           Universe* universe);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_IO_H_

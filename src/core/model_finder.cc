@@ -1,0 +1,120 @@
+#include "core/model_finder.h"
+
+#include <set>
+
+#include "partition/partition_lattice.h"
+
+namespace psem {
+
+namespace {
+
+// All attribute ids mentioned by E and the query, with arena names.
+std::vector<AttrId> CollectAttrIds(const ExprArena& arena,
+                                   const std::vector<Pd>& e, const Pd* query) {
+  std::set<AttrId> attrs;
+  for (const Pd& pd : e) {
+    arena.CollectAttrs(pd.lhs, &attrs);
+    arena.CollectAttrs(pd.rhs, &attrs);
+  }
+  if (query != nullptr) {
+    arena.CollectAttrs(query->lhs, &attrs);
+    arena.CollectAttrs(query->rhs, &attrs);
+  }
+  return {attrs.begin(), attrs.end()};
+}
+
+// Recursive assignment search over partitions of [k].
+struct Search {
+  const ExprArena& arena;
+  const std::vector<Pd>& e;
+  const Pd* query;  // nullptr: pure satisfiability
+  const std::vector<AttrId>& attrs;
+  const std::vector<Partition>& candidates;
+  PartitionInterpretation interp;
+
+  // PDs whose attribute sets become fully assigned at position i are
+  // checked right after attrs[i] is assigned.
+  std::vector<std::vector<const Pd*>> check_at;
+
+  bool Dfs(std::size_t i) {
+    if (i == attrs.size()) {
+      if (query == nullptr) return true;
+      return !*interp.Satisfies(arena, *query);
+    }
+    const std::string& name = arena.AttrName(attrs[i]);
+    for (const Partition& p : candidates) {
+      // Naming function: one fresh symbol per block.
+      std::unordered_map<std::string, uint32_t> naming;
+      for (uint32_t b = 0; b < p.num_blocks(); ++b) {
+        naming[name + "_" + std::to_string(b)] = b;
+      }
+      if (!interp.DefineAttribute(name, p, naming).ok()) continue;
+      bool ok = true;
+      for (const Pd* pd : check_at[i]) {
+        if (!*interp.Satisfies(arena, *pd)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && Dfs(i + 1)) return true;
+    }
+    // Backtrack: redefining on the next candidate overwrites, but on
+    // final failure the caller's earlier state is what matters; the
+    // interpretation keeps the last tried partition for attrs[i], which
+    // the parent will overwrite on its next candidate. Correctness relies
+    // on check_at only consulting attrs <= i.
+    return false;
+  }
+};
+
+std::optional<CounterModel> SearchPopulations(const ExprArena& arena,
+                                              const std::vector<Pd>& e,
+                                              const Pd* query,
+                                              std::size_t max_population) {
+  std::vector<AttrId> attrs = CollectAttrIds(arena, e, query);
+  if (attrs.empty()) return std::nullopt;
+  for (std::size_t k = 1; k <= max_population; ++k) {
+    FullPartitionLatticeResult full = FullPartitionLattice(k);
+    // Position of the last-assigned attribute of each PD.
+    std::vector<std::vector<const Pd*>> check_at(attrs.size());
+    auto last_pos = [&](const Pd& pd) {
+      std::set<AttrId> pd_attrs;
+      arena.CollectAttrs(pd.lhs, &pd_attrs);
+      arena.CollectAttrs(pd.rhs, &pd_attrs);
+      std::size_t last = 0;
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if (pd_attrs.count(attrs[i])) last = i;
+      }
+      return last;
+    };
+    for (const Pd& pd : e) check_at[last_pos(pd)].push_back(&pd);
+
+    Search search{arena, e, query, attrs, full.elements,
+                  PartitionInterpretation{}, std::move(check_at)};
+    if (search.Dfs(0)) {
+      CounterModel model;
+      model.interpretation = std::move(search.interp);
+      model.population_size = k;
+      for (AttrId a : attrs) model.attributes.push_back(arena.AttrName(a));
+      return model;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CounterModel> FindCounterModel(const ExprArena& arena,
+                                             const std::vector<Pd>& e,
+                                             const Pd& query,
+                                             std::size_t max_population) {
+  return SearchPopulations(arena, e, &query, max_population);
+}
+
+std::optional<CounterModel> FindModel(const ExprArena& arena,
+                                      const std::vector<Pd>& e,
+                                      std::size_t max_population) {
+  return SearchPopulations(arena, e, nullptr, max_population);
+}
+
+}  // namespace psem

@@ -1,0 +1,56 @@
+// Bounded model finding for partition dependencies. Theorem 8 makes PD
+// implication equivalent to validity over finite lattices, and every
+// finite lattice embeds into a finite partition lattice [Pudlak & Tuma],
+// so non-implication is always witnessed by a finite partition
+// interpretation. This module searches the partition lattices Pi_k of
+// small populations (EAP interpretations by construction) for a model of
+// E violating a query — the "show me why not" companion to Algorithm ALG
+// and the proof extractor.
+
+#ifndef PSEM_CORE_MODEL_FINDER_H_
+#define PSEM_CORE_MODEL_FINDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "partition/interpretation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// A found countermodel: an EAP partition interpretation over population
+/// {0..population_size-1} satisfying every PD of E and violating `query`.
+struct CounterModel {
+  PartitionInterpretation interpretation;
+  std::size_t population_size = 0;
+  /// The attribute names assigned, in arena order.
+  std::vector<std::string> attributes;
+};
+
+/// Searches populations of size 2..max_population for a countermodel to
+/// "E implies query". Returns nullopt if none exists within the bound
+/// (which, for an actually-implied query, is every bound). The search is
+/// exhaustive per population size: every assignment of partitions of [k]
+/// to the attributes occurring in E and the query, with constraint
+/// propagation (each PD is checked as soon as its attributes are all
+/// assigned).
+///
+/// Cost grows as Bell(k)^#attrs; practical for max_population <= 4-5 and
+/// a handful of attributes — exactly the regime where counterexamples to
+/// plausible-but-wrong PDs live.
+std::optional<CounterModel> FindCounterModel(const ExprArena& arena,
+                                             const std::vector<Pd>& e,
+                                             const Pd& query,
+                                             std::size_t max_population = 4);
+
+/// Convenience: searches for a model of E alone (violating nothing) —
+/// i.e. a satisfiability witness over a bounded population.
+std::optional<CounterModel> FindModel(const ExprArena& arena,
+                                      const std::vector<Pd>& e,
+                                      std::size_t max_population = 4);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_MODEL_FINDER_H_

@@ -1,0 +1,62 @@
+// The PD normalization pipeline of Section 6.2, the preprocessing behind
+// the polynomial consistency test (Theorem 12):
+//
+//  1. Flatten: replace every PD by PDs of the forms C = A * B, C = A + B,
+//     and A = B over an extended attribute set (fresh attributes name
+//     subexpressions).
+//  2. Decompose: C = A * B becomes the FPDs C -> A, C -> B, AB -> C;
+//     C = A + B becomes the FPDs A -> C, B -> C plus the residual
+//     constraint C <= A + B, which is not an FPD (Theorem 4 shows it is
+//     not even first-order).
+//  3. Close: compute with Algorithm ALG every consequence A <= B between
+//     single attributes and add it as an FD; prune each C <= A + B whose A
+//     and B have become comparable (it degenerates to an FPD and moves to
+//     F).
+//
+// The result is F, a set of plain FDs over the extended universe, plus the
+// surviving sum-upper constraints. Lemma 12.1: a database has a weak
+// instance satisfying E iff it has one satisfying F alone — the sum-upper
+// leftovers can always be repaired by adding tuples.
+
+#ifndef PSEM_CORE_NORMALIZE_H_
+#define PSEM_CORE_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "relational/dependency.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// A surviving constraint C <= A + B (attributes of the extended
+/// universe, pairwise incomparable A, B under E+).
+struct SumUpperConstraint {
+  RelAttrId c;
+  RelAttrId a;
+  RelAttrId b;
+};
+
+/// Output of the Section 6.2 pipeline.
+struct NormalizedPds {
+  /// F: every FPD of E+, as FDs over the (extended) universe.
+  std::vector<Fd> fpds;
+  /// The C <= A + B constraints that survived pruning.
+  std::vector<SumUpperConstraint> sum_uppers;
+  /// Names of the fresh attributes introduced by flattening (already
+  /// interned into the universe).
+  std::vector<std::string> fresh_attrs;
+};
+
+/// Runs the full pipeline on `pds` (expressions over `arena`; attribute
+/// names shared with `universe` by name, new ones interned). Polynomial
+/// time: flattening is linear, the closure is one ALG run.
+Result<NormalizedPds> NormalizePds(const ExprArena& arena,
+                                   const std::vector<Pd>& pds,
+                                   Universe* universe);
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_NORMALIZE_H_

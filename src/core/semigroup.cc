@@ -1,0 +1,87 @@
+#include "core/semigroup.h"
+
+#include "util/strings.h"
+
+namespace psem {
+
+AttrSet IcSemigroupTheory::Resize(const AttrSet& s) const {
+  if (s.size() == universe_->size()) return s;
+  AttrSet out(universe_->size());
+  s.ForEach([&](std::size_t i) { out.Set(i); });
+  return out;
+}
+
+void IcSemigroupTheory::AddEquation(AttrSet lhs, AttrSet rhs) {
+  equations_.emplace_back(std::move(lhs), std::move(rhs));
+}
+
+Status IcSemigroupTheory::AddParsed(std::string_view text) {
+  std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("equation must contain '='");
+  }
+  auto parse_word = [&](std::string_view side) -> Result<AttrSet> {
+    std::vector<std::string> names = SplitAndStrip(std::string(side), ' ');
+    if (names.empty()) {
+      return Status::InvalidArgument("word must be nonempty");
+    }
+    for (const auto& n : names) {
+      if (!IsIdentifier(n)) {
+        return Status::InvalidArgument("bad attribute '" + n + "'");
+      }
+    }
+    return universe_->MakeSet(names);
+  };
+  PSEM_ASSIGN_OR_RETURN(AttrSet lhs, parse_word(text.substr(0, eq)));
+  PSEM_ASSIGN_OR_RETURN(AttrSet rhs, parse_word(text.substr(eq + 1)));
+  AddEquation(std::move(lhs), std::move(rhs));
+  return Status::OK();
+}
+
+AttrSet IcSemigroupTheory::NormalForm(const AttrSet& x) const {
+  AttrSet current = Resize(x);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [lhs, rhs] : equations_) {
+      AttrSet l = Resize(lhs), r = Resize(rhs);
+      if (l.IsSubsetOf(current)) changed |= current.UnionWith(r);
+      if (r.IsSubsetOf(current)) changed |= current.UnionWith(l);
+    }
+  }
+  return current;
+}
+
+bool IcSemigroupTheory::Equal(const AttrSet& x, const AttrSet& y) const {
+  return NormalForm(x) == NormalForm(y);
+}
+
+bool IcSemigroupTheory::LeqWord(const AttrSet& x, const AttrSet& y) const {
+  AttrSet xy = Resize(x);
+  xy.UnionWith(Resize(y));
+  return Equal(x, xy);
+}
+
+std::vector<Fd> IcSemigroupTheory::ToFds() const {
+  std::vector<Fd> fds;
+  for (const auto& [lhs, rhs] : equations_) {
+    AttrSet l = Resize(lhs), r = Resize(rhs);
+    fds.push_back(Fd{l, r});
+    fds.push_back(Fd{r, l});
+  }
+  return fds;
+}
+
+IcSemigroupTheory IcSemigroupTheory::FromFds(Universe* universe,
+                                             const std::vector<Fd>& fds) {
+  IcSemigroupTheory t(universe);
+  for (const Fd& fd : fds) {
+    AttrSet lhs = t.Resize(fd.lhs);
+    AttrSet both = lhs;
+    both.UnionWith(t.Resize(fd.rhs));
+    t.AddEquation(std::move(lhs), std::move(both));
+  }
+  return t;
+}
+
+}  // namespace psem

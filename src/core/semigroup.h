@@ -1,0 +1,67 @@
+// The uniform word problem for idempotent commutative semigroups
+// (semilattices) — Section 5.3's algebraic identity for FD implication.
+// Product-only partition expressions are, up to the semigroup axioms,
+// just nonempty attribute sets; an equation set E is decided by
+// saturation: NormalForm(X) adds the other side of any equation whose one
+// side is already contained. The paper observes that FD implication and
+// this word problem are reducible to each other in both directions; the
+// tests check all three engines (this one, FdTheory, Algorithm ALG on
+// product-only PDs) agree.
+
+#ifndef PSEM_CORE_SEMIGROUP_H_
+#define PSEM_CORE_SEMIGROUP_H_
+
+#include <vector>
+
+#include "relational/dependency.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// A finitely presented idempotent commutative semigroup over the
+/// universe's attributes: generators = attributes, relations = equations
+/// between words (nonempty attribute sets).
+class IcSemigroupTheory {
+ public:
+  explicit IcSemigroupTheory(Universe* universe) : universe_(universe) {}
+
+  /// Adds the equation lhs = rhs (words as attribute sets).
+  void AddEquation(AttrSet lhs, AttrSet rhs);
+
+  /// Parses "A B = B C" (words separated by '=').
+  Status AddParsed(std::string_view text);
+
+  const std::vector<std::pair<AttrSet, AttrSet>>& equations() const {
+    return equations_;
+  }
+
+  /// The saturated word equal to X: repeatedly absorb the other side of
+  /// any equation one of whose sides is contained in the current word.
+  /// This is the canonical normal form for the word problem.
+  AttrSet NormalForm(const AttrSet& x) const;
+
+  /// E |- X = Y in every idempotent commutative semigroup.
+  bool Equal(const AttrSet& x, const AttrSet& y) const;
+
+  /// E |- X = X * Y (the semigroup form of the FD X -> Y).
+  bool LeqWord(const AttrSet& x, const AttrSet& y) const;
+
+  /// The FD encoding of this presentation: each equation U = V becomes
+  /// the FDs U -> V and V -> U (Example f / Section 5.3).
+  std::vector<Fd> ToFds() const;
+
+  /// The presentation encoding of an FD set: X -> Y becomes X = X u Y.
+  static IcSemigroupTheory FromFds(Universe* universe,
+                                   const std::vector<Fd>& fds);
+
+ private:
+  AttrSet Resize(const AttrSet& s) const;
+
+  Universe* universe_;
+  std::vector<std::pair<AttrSet, AttrSet>> equations_;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_CORE_SEMIGROUP_H_

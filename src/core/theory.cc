@@ -1,0 +1,70 @@
+#include "core/theory.h"
+
+namespace psem {
+
+Status PdTheory::AddParsed(std::string_view text) {
+  PSEM_ASSIGN_OR_RETURN(Pd pd, arena_->ParsePd(text));
+  Add(pd);
+  return Status::OK();
+}
+
+PdImplicationEngine& PdTheory::engine() {
+  if (!engine_) {
+    engine_ = std::make_unique<PdImplicationEngine>(arena_.get(), pds_);
+  }
+  return *engine_;
+}
+
+bool PdTheory::Implies(const Pd& query) { return engine().Implies(query); }
+
+Result<bool> PdTheory::ImpliesParsed(std::string_view text) {
+  PSEM_ASSIGN_OR_RETURN(Pd pd, arena_->ParsePd(text));
+  return Implies(pd);
+}
+
+bool PdTheory::Equivalent(const Pd& a, const Pd& b) {
+  PdImplicationEngine with_a(arena_.get(), [&] {
+    auto e = pds_;
+    e.push_back(a);
+    return e;
+  }());
+  if (!with_a.Implies(b)) return false;
+  PdImplicationEngine with_b(arena_.get(), [&] {
+    auto e = pds_;
+    e.push_back(b);
+    return e;
+  }());
+  return with_b.Implies(a);
+}
+
+bool PdTheory::IsIdentity(const Pd& pd) const {
+  WhitmanMemo decider(arena_.get());
+  return decider.IsIdentity(pd);
+}
+
+Result<Proof> PdTheory::Explain(const Pd& query) {
+  ProvenanceEngine prover(arena_.get(), pds_);
+  return prover.Prove(query);
+}
+
+Result<std::string> PdTheory::ExplainText(std::string_view query_text) {
+  PSEM_ASSIGN_OR_RETURN(Pd query, arena_->ParsePd(query_text));
+  PSEM_ASSIGN_OR_RETURN(Proof proof, Explain(query));
+  return RenderProof(*arena_, proof);
+}
+
+std::optional<CounterModel> PdTheory::FindCounterexample(
+    const Pd& query, std::size_t max_population) const {
+  return FindCounterModel(*arena_, pds_, query, max_population);
+}
+
+Result<bool> PdTheory::SatisfiedBy(const Database& db,
+                                   const Relation& r) const {
+  for (const Pd& pd : pds_) {
+    PSEM_ASSIGN_OR_RETURN(bool ok, RelationSatisfiesPd(db, r, *arena_, pd));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace psem

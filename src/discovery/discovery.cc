@@ -1,0 +1,161 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "partition/canonical.h"
+#include "util/union_find.h"
+
+namespace psem {
+
+Partition ColumnPartition(const Relation& r, std::size_t column) {
+  std::vector<Elem> population(r.size());
+  std::vector<uint32_t> labels(r.size());
+  std::unordered_map<ValueId, uint32_t> value_label;
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    population[i] = i;
+    auto [it, inserted] = value_label.emplace(
+        r.row(i)[column], static_cast<uint32_t>(value_label.size()));
+    (void)inserted;
+    labels[i] = it->second;
+  }
+  return Partition::FromLabels(population, labels);
+}
+
+namespace {
+
+// Candidate lhs sets are column-index bitmasks (arity <= 30 or so; the
+// levelwise bound keeps this tame).
+using ColMask = uint32_t;
+
+}  // namespace
+
+Result<std::vector<Fd>> DiscoverFds(const Database& db, const Relation& r,
+                                    const FdDiscoveryOptions& options) {
+  const std::size_t arity = r.arity();
+  if (arity > 24) {
+    return Status::InvalidArgument("relation too wide for lattice search");
+  }
+  if (r.empty()) {
+    return Status::FailedPrecondition(
+        "FD discovery over an empty relation is vacuous");
+  }
+  std::vector<Partition> column(arity);
+  for (std::size_t c = 0; c < arity; ++c) column[c] = ColumnPartition(r, c);
+
+  // Partition of a column set, cached by mask.
+  std::unordered_map<ColMask, Partition> set_partition;
+  std::function<const Partition&(ColMask)> partition_of =
+      [&](ColMask mask) -> const Partition& {
+    auto it = set_partition.find(mask);
+    if (it != set_partition.end()) return it->second;
+    // Split off the lowest column and recurse.
+    int low = __builtin_ctz(mask);
+    ColMask rest = mask & (mask - 1);
+    Partition p = rest == 0
+                      ? column[low]
+                      : Partition::Product(column[low], partition_of(rest));
+    return set_partition.emplace(mask, std::move(p)).first->second;
+  };
+
+  // r |= X -> A iff pi_X refines pi_A iff |pi_X| == |pi_X * pi_A|.
+  auto holds = [&](ColMask x, std::size_t a) {
+    const Partition& px = partition_of(x);
+    return Partition::Product(px, column[a]).num_blocks() == px.num_blocks();
+  };
+
+  std::vector<Fd> out;
+  const std::size_t n = db.universe().size();
+  // For minimality pruning: for each rhs attr, the set of minimal lhs
+  // masks found so far.
+  std::vector<std::vector<ColMask>> minimal_lhs(arity);
+  // Levelwise enumeration of lhs masks by popcount.
+  std::vector<ColMask> masks;
+  for (ColMask m = 1; m < (ColMask{1} << arity); ++m) {
+    if (static_cast<std::size_t>(__builtin_popcount(m)) <=
+        options.max_lhs_size) {
+      masks.push_back(m);
+    }
+  }
+  std::sort(masks.begin(), masks.end(), [](ColMask a, ColMask b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  for (ColMask x : masks) {
+    for (std::size_t a = 0; a < arity; ++a) {
+      if (x & (ColMask{1} << a)) continue;  // trivial
+      // Minimality: skip if a subset lhs already determines a.
+      bool dominated = false;
+      for (ColMask seen : minimal_lhs[a]) {
+        if ((seen & x) == seen) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      if (!holds(x, a)) continue;
+      minimal_lhs[a].push_back(x);
+      AttrSet lhs(n), rhs(n);
+      for (std::size_t c = 0; c < arity; ++c) {
+        if (x & (ColMask{1} << c)) lhs.Set(r.schema().attrs[c]);
+      }
+      rhs.Set(r.schema().attrs[a]);
+      out.push_back(Fd{std::move(lhs), std::move(rhs)});
+      if (out.size() >= options.max_results) return out;
+    }
+  }
+  return out;
+}
+
+std::string PdPattern::ToString(const Universe& universe) const {
+  const std::string& cn = universe.NameOf(c);
+  const std::string& an = universe.NameOf(a);
+  const std::string& bn = universe.NameOf(b);
+  switch (kind) {
+    case Kind::kProduct:
+      return cn + " = " + an + "*" + bn;
+    case Kind::kSum:
+      return cn + " = " + an + "+" + bn;
+    case Kind::kSumUpper:
+      return cn + " <= " + an + "+" + bn;
+  }
+  return "?";
+}
+
+Result<std::vector<PdPattern>> DiscoverPdPatterns(const Database& db,
+                                                  const Relation& r) {
+  const std::size_t arity = r.arity();
+  if (r.empty()) {
+    return Status::FailedPrecondition(
+        "PD discovery over an empty relation is vacuous");
+  }
+  std::vector<Partition> column(arity);
+  for (std::size_t c = 0; c < arity; ++c) column[c] = ColumnPartition(r, c);
+
+  std::vector<PdPattern> out;
+  for (std::size_t a = 0; a < arity; ++a) {
+    for (std::size_t b = a + 1; b < arity; ++b) {
+      Partition prod = Partition::Product(column[a], column[b]);
+      Partition sum = Partition::Sum(column[a], column[b]);
+      for (std::size_t c = 0; c < arity; ++c) {
+        if (c == a || c == b) continue;
+        RelAttrId ca = r.schema().attrs[a];
+        RelAttrId cb = r.schema().attrs[b];
+        RelAttrId cc = r.schema().attrs[c];
+        if (column[c] == prod) {
+          out.push_back(PdPattern{PdPattern::Kind::kProduct, cc, ca, cb});
+        }
+        if (column[c] == sum) {
+          out.push_back(PdPattern{PdPattern::Kind::kSum, cc, ca, cb});
+        } else if (column[c].RefinesSamePopulation(sum)) {
+          out.push_back(PdPattern{PdPattern::Kind::kSumUpper, cc, ca, cb});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace psem

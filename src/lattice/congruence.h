@@ -1,0 +1,59 @@
+// Congruence closure over partition expressions: the relation <-->_E of
+// Section 5.1 (step III of the paper's inference system), which is the
+// machinery Kozen [23] uses for the uniform word problem for finitely
+// presented algebras. Two expressions are <-->_E-equivalent iff one
+// rewrites to the other by E-substitutions alone — no lattice axioms.
+// The paper's =_E is the join of <-->_E with <=_id; this module provides
+// the pure congruence piece, which is strictly weaker (A*B <-->_E B*A
+// does NOT hold without an equation) and serves as a lower bound oracle
+// in tests: p <-->_E q implies E |= p = q, never conversely.
+//
+// Implementation: classic congruence closure on the expression DAG —
+// union-find over nodes, with upward propagation (congruent parents
+// merge when their children become equivalent).
+
+#ifndef PSEM_LATTICE_CONGRUENCE_H_
+#define PSEM_LATTICE_CONGRUENCE_H_
+
+#include <vector>
+
+#include "lattice/expr.h"
+#include "util/union_find.h"
+
+namespace psem {
+
+/// Congruence closure over an ExprArena's nodes. Equations are added
+/// incrementally; queries are amortized near-linear.
+class CongruenceClosure {
+ public:
+  /// Tracks every node currently in `arena` and any added later (nodes
+  /// are registered lazily on first touch).
+  explicit CongruenceClosure(const ExprArena* arena) : arena_(arena) {}
+
+  /// Asserts e1 = e2 and closes under congruence: if x ~ x' and y ~ y'
+  /// then x*y ~ x'*y' and x+y ~ x'+y' (for nodes present in the arena).
+  void AddEquation(ExprId e1, ExprId e2);
+
+  /// True iff the expressions are equal under the asserted equations and
+  /// congruence alone (no lattice axioms).
+  bool Equivalent(ExprId e1, ExprId e2);
+
+  /// Number of equivalence classes among registered nodes.
+  std::size_t NumClasses();
+
+ private:
+  void Register(ExprId e);
+  void Merge(ExprId e1, ExprId e2);
+  // Re-scan registered parents for congruent pairs; returns true if any
+  // merge happened.
+  bool PropagateOnce();
+
+  const ExprArena* arena_;
+  UnionFind classes_;
+  std::vector<ExprId> registered_;   // node ids registered so far
+  std::vector<bool> is_registered_;  // indexed by ExprId
+};
+
+}  // namespace psem
+
+#endif  // PSEM_LATTICE_CONGRUENCE_H_

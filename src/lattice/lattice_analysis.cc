@@ -1,0 +1,153 @@
+#include "lattice/lattice_analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace psem {
+
+std::vector<LatticeElem> Atoms(const FiniteLattice& l) {
+  return l.CoversOf(l.Bottom());
+}
+
+std::vector<LatticeElem> JoinIrreducibles(const FiniteLattice& l) {
+  std::vector<LatticeElem> out;
+  LatticeElem bot = l.Bottom();
+  for (LatticeElem x = 0; x < l.size(); ++x) {
+    if (x == bot) continue;
+    bool reducible = false;
+    for (LatticeElem a = 0; a < l.size() && !reducible; ++a) {
+      if (a == x || !l.Leq(a, x)) continue;
+      for (LatticeElem b = 0; b < l.size(); ++b) {
+        if (b == x || !l.Leq(b, x)) continue;
+        if (l.Join(a, b) == x) {
+          reducible = true;
+          break;
+        }
+      }
+    }
+    if (!reducible) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<LatticeElem> MeetIrreducibles(const FiniteLattice& l) {
+  std::vector<LatticeElem> out;
+  LatticeElem top = l.Top();
+  for (LatticeElem x = 0; x < l.size(); ++x) {
+    if (x == top) continue;
+    bool reducible = false;
+    for (LatticeElem a = 0; a < l.size() && !reducible; ++a) {
+      if (a == x || !l.Leq(x, a)) continue;
+      for (LatticeElem b = 0; b < l.size(); ++b) {
+        if (b == x || !l.Leq(x, b)) continue;
+        if (l.Meet(a, b) == x) {
+          reducible = true;
+          break;
+        }
+      }
+    }
+    if (!reducible) out.push_back(x);
+  }
+  return out;
+}
+
+std::size_t Height(const FiniteLattice& l) {
+  // Longest chain via DP over the order (heights of lower covers).
+  const std::size_t n = l.size();
+  std::vector<std::size_t> h(n, 0);
+  // Process in a linear extension: sort by number of elements below.
+  std::vector<LatticeElem> order(n);
+  for (LatticeElem i = 0; i < n; ++i) order[i] = i;
+  std::vector<std::size_t> below(n, 0);
+  for (LatticeElem a = 0; a < n; ++a) {
+    for (LatticeElem b = 0; b < n; ++b) {
+      if (b != a && l.Leq(b, a)) ++below[a];
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](LatticeElem a, LatticeElem b) {
+    return below[a] < below[b];
+  });
+  std::size_t best = 0;
+  for (LatticeElem x : order) {
+    for (LatticeElem y = 0; y < n; ++y) {
+      if (y != x && l.Leq(y, x)) h[x] = std::max(h[x], h[y] + 1);
+    }
+    best = std::max(best, h[x]);
+  }
+  return best;
+}
+
+std::size_t Width(const FiniteLattice& l) {
+  // Dilworth via Kuhn's bipartite matching on the strict order.
+  const std::size_t n = l.size();
+  std::vector<std::vector<LatticeElem>> succ(n);
+  for (LatticeElem a = 0; a < n; ++a) {
+    for (LatticeElem b = 0; b < n; ++b) {
+      if (a != b && l.Leq(a, b)) succ[a].push_back(b);
+    }
+  }
+  std::vector<int> match_right(n, -1);
+  std::vector<bool> used;
+  std::function<bool(LatticeElem)> try_kuhn = [&](LatticeElem a) -> bool {
+    for (LatticeElem b : succ[a]) {
+      if (used[b]) continue;
+      used[b] = true;
+      if (match_right[b] < 0 ||
+          try_kuhn(static_cast<LatticeElem>(match_right[b]))) {
+        match_right[b] = static_cast<int>(a);
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t matching = 0;
+  for (LatticeElem a = 0; a < n; ++a) {
+    used.assign(n, false);
+    if (try_kuhn(a)) ++matching;
+  }
+  return n - matching;
+}
+
+std::vector<LatticeElem> ComplementsOf(const FiniteLattice& l,
+                                       LatticeElem x) {
+  std::vector<LatticeElem> out;
+  LatticeElem bot = l.Bottom(), top = l.Top();
+  for (LatticeElem y = 0; y < l.size(); ++y) {
+    if (l.Meet(x, y) == bot && l.Join(x, y) == top) out.push_back(y);
+  }
+  return out;
+}
+
+bool IsComplemented(const FiniteLattice& l) {
+  for (LatticeElem x = 0; x < l.size(); ++x) {
+    if (ComplementsOf(l, x).empty()) return false;
+  }
+  return true;
+}
+
+bool IsAtomistic(const FiniteLattice& l) {
+  std::vector<LatticeElem> atoms = Atoms(l);
+  for (LatticeElem x = 0; x < l.size(); ++x) {
+    LatticeElem join = l.Bottom();
+    for (LatticeElem a : atoms) {
+      if (l.Leq(a, x)) join = l.Join(join, a);
+    }
+    if (join != x) return false;
+  }
+  return true;
+}
+
+std::string Summarize(const FiniteLattice& l) {
+  std::string out = "n=" + std::to_string(l.size());
+  out += " height=" + std::to_string(Height(l));
+  out += " width=" + std::to_string(Width(l));
+  out += " atoms=" + std::to_string(Atoms(l).size());
+  out += " join_irr=" + std::to_string(JoinIrreducibles(l).size());
+  out += std::string(" distributive=") + (l.IsDistributive() ? "yes" : "no");
+  out += std::string(" modular=") + (l.IsModular() ? "yes" : "no");
+  out += std::string(" complemented=") + (IsComplemented(l) ? "yes" : "no");
+  out += std::string(" atomistic=") + (IsAtomistic(l) ? "yes" : "no");
+  return out;
+}
+
+}  // namespace psem

@@ -1,0 +1,53 @@
+// Structural analysis of finite lattices: the standard invariants used
+// when studying L(I) — atoms, join/meet-irreducible elements, height,
+// width (largest antichain, via Mirsky/greedy chain covers), complement
+// pairs, and whether the lattice is complemented/atomistic. These feed
+// the Figure 1/2 experiments (e.g. Pi_n is complemented and atomistic;
+// L(I) of Figure 1 is neither distributive nor complemented) and give
+// library users a vocabulary for the lattices the semantics produces.
+
+#ifndef PSEM_LATTICE_LATTICE_ANALYSIS_H_
+#define PSEM_LATTICE_LATTICE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/finite_lattice.h"
+
+namespace psem {
+
+/// Elements covering the bottom.
+std::vector<LatticeElem> Atoms(const FiniteLattice& l);
+
+/// Elements x with exactly one lower cover — equivalently, x != bottom
+/// and x is not the join of two strictly smaller elements.
+std::vector<LatticeElem> JoinIrreducibles(const FiniteLattice& l);
+
+/// Dual of JoinIrreducibles.
+std::vector<LatticeElem> MeetIrreducibles(const FiniteLattice& l);
+
+/// Length of a longest chain from bottom to top (number of covers).
+std::size_t Height(const FiniteLattice& l);
+
+/// Size of a largest antichain, computed exactly via Dilworth's theorem:
+/// width = minimum chain cover = n - maximum matching in the bipartite
+/// graph of the strict order (Kuhn's algorithm; fine for the small
+/// lattices this library builds).
+std::size_t Width(const FiniteLattice& l);
+
+/// All complements of x: elements y with x*y = bottom and x+y = top.
+std::vector<LatticeElem> ComplementsOf(const FiniteLattice& l, LatticeElem x);
+
+/// Every element has at least one complement.
+bool IsComplemented(const FiniteLattice& l);
+
+/// Every element is a join of atoms.
+bool IsAtomistic(const FiniteLattice& l);
+
+/// One-line structural summary ("n=15 height=3 width=7 atoms=7
+/// distributive=no modular=no complemented=yes").
+std::string Summarize(const FiniteLattice& l);
+
+}  // namespace psem
+
+#endif  // PSEM_LATTICE_LATTICE_ANALYSIS_H_

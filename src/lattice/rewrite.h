@@ -1,0 +1,66 @@
+// The rewrite system RR of Section 5.2's completeness proof (Lemma 9.1):
+//
+//   1. x + x  <--  x            4. x  <--  x * x
+//   2. x * y  <--  x            5. x  <--  x + y
+//   3. y * x  <--  x            6. x  <--  y + x
+//   7. z <--> v  for each equation z = v in E
+//
+// read left-to-right as "p may be rewritten to q" in the direction that
+// witnesses p <=_E q: Lemma 9.1 shows p <=_E q iff p rewrites to q by a
+// finite RR sequence. This module enumerates single-step rewrites and
+// searches (bounded BFS) for a whole sequence — the paper's proof object,
+// made executable. Used by tests to corroborate Lemma 9.1 against
+// Algorithm ALG on small instances, and by the CLI to show rewrite
+// traces.
+
+#ifndef PSEM_LATTICE_REWRITE_H_
+#define PSEM_LATTICE_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// One rewrite step: the expression obtained and a description of the
+/// rule applied.
+struct RewriteStep {
+  ExprId expr;
+  std::string rule;  ///< e.g. "absorb-sum", "E2 ->", "pad-sum".
+};
+
+/// A witnessing sequence s_0 = from, ..., s_n = to.
+struct RewriteSequence {
+  std::vector<RewriteStep> steps;  ///< steps[0].expr == from (rule "start").
+};
+
+/// All expressions reachable from `e` in ONE rewrite step that decreases
+/// or preserves <=_E-direction (rules applied at every subterm position).
+/// `max_size` bounds the tree size of produced expressions (rules 5 and 6
+/// can grow expressions by an arbitrary y; growth is instantiated only
+/// with subexpressions already interned in the arena among `pad_pool`).
+std::vector<RewriteStep> OneStepRewrites(ExprArena* arena, ExprId e,
+                                         const std::vector<Pd>& equations,
+                                         const std::vector<ExprId>& pad_pool,
+                                         uint32_t max_size);
+
+/// Bounded BFS for a rewrite sequence from `from` to `to` witnessing
+/// from <=_E to (Lemma 9.1). `pad_pool` supplies the y's for rules 5/6
+/// (the lemma's proof only ever needs subexpressions of E, from, to).
+/// Returns NotFound when no sequence exists within the bounds — which for
+/// small instances and generous bounds matches non-implication.
+Result<RewriteSequence> FindRewriteSequence(ExprArena* arena, ExprId from,
+                                            ExprId to,
+                                            const std::vector<Pd>& equations,
+                                            uint32_t max_size = 24,
+                                            std::size_t max_states = 200000);
+
+/// Renders a sequence as "e0 --[rule]--> e1 --> ...".
+std::string RenderRewriteSequence(const ExprArena& arena,
+                                  const RewriteSequence& seq);
+
+}  // namespace psem
+
+#endif  // PSEM_LATTICE_REWRITE_H_

@@ -1,0 +1,26 @@
+// Identity-preserving expression simplification. Uses the Whitman
+// decider (<=_id, Lemma 8.2) to shrink partition expressions without
+// changing their value in ANY lattice: absorbed operands are dropped
+// (A*(A+B) -> A), redundant factors and summands are removed (a factor y
+// of a product is redundant when another factor x has x <=_id y; dually
+// for sums), and whole nodes collapse to a child when <=_id-equivalent.
+// The result is =_id-equivalent to the input and never larger.
+
+#ifndef PSEM_LATTICE_SIMPLIFY_H_
+#define PSEM_LATTICE_SIMPLIFY_H_
+
+#include "lattice/expr.h"
+#include "lattice/whitman.h"
+
+namespace psem {
+
+/// Simplifies `e` within `arena` (new nodes may be interned). The return
+/// value satisfies: Eq_id(result, e) and TreeSize(result) <= TreeSize(e).
+ExprId SimplifyExpr(ExprArena* arena, ExprId e);
+
+/// Simplifies both sides of a PD.
+Pd SimplifyPd(ExprArena* arena, const Pd& pd);
+
+}  // namespace psem
+
+#endif  // PSEM_LATTICE_SIMPLIFY_H_

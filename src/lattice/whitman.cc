@@ -1,0 +1,196 @@
+#include "lattice/whitman.h"
+
+#include <cassert>
+#include <vector>
+
+namespace psem {
+
+namespace {
+inline uint64_t PairKey(ExprId p, ExprId q) {
+  return (static_cast<uint64_t>(p) << 32) | q;
+}
+}  // namespace
+
+// Rule dispatch (Section 5.3, cases 1-7). The recursion is well-founded:
+// every recursive call strictly decreases |p| + |q|.
+bool WhitmanMemo::Leq(ExprId p, ExprId q) {
+  uint64_t key = PairKey(p, q);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  const ExprArena& a = *arena_;
+  bool res;
+  if (a.KindOf(p) == ExprKind::kSum) {
+    // Case 7: p1 + p2 <= q iff p1 <= q and p2 <= q.
+    res = Leq(a.LhsOf(p), q) && Leq(a.RhsOf(p), q);
+  } else if (a.KindOf(q) == ExprKind::kProduct &&
+             a.KindOf(p) != ExprKind::kProduct) {
+    // Case 2 (p an attribute): p <= q1 * q2 iff p <= q1 and p <= q2.
+    res = Leq(p, a.LhsOf(q)) && Leq(p, a.RhsOf(q));
+  } else if (a.KindOf(p) == ExprKind::kAttr) {
+    switch (a.KindOf(q)) {
+      case ExprKind::kAttr:
+        // Case 1: A <= A' iff identical (ids are hash-consed).
+        res = (p == q);
+        break;
+      case ExprKind::kSum:
+        // Case 3: A <= q1 + q2 iff A <= q1 or A <= q2.
+        res = Leq(p, a.LhsOf(q)) || Leq(p, a.RhsOf(q));
+        break;
+      case ExprKind::kProduct:
+        res = Leq(p, a.LhsOf(q)) && Leq(p, a.RhsOf(q));
+        break;
+    }
+  } else {
+    // p is a product p1 * p2.
+    ExprId p1 = a.LhsOf(p), p2 = a.RhsOf(p);
+    switch (a.KindOf(q)) {
+      case ExprKind::kAttr:
+        // Case 4: p1 * p2 <= A' iff p1 <= A' or p2 <= A'.
+        res = Leq(p1, q) || Leq(p2, q);
+        break;
+      case ExprKind::kProduct:
+        // Case 5: p <= q1 * q2 iff p <= q1 and p <= q2.
+        res = Leq(p, a.LhsOf(q)) && Leq(p, a.RhsOf(q));
+        break;
+      case ExprKind::kSum:
+        // Case 6 (Whitman's condition): p1*p2 <= q1+q2 iff
+        //   p1 <= q or p2 <= q or p <= q1 or p <= q2.
+        res = Leq(p1, q) || Leq(p2, q) || Leq(p, a.LhsOf(q)) ||
+              Leq(p, a.RhsOf(q));
+        break;
+    }
+  }
+  memo_.emplace(key, res);
+  return res;
+}
+
+namespace {
+
+// One member of the C(p, q) call list: a recursive subproblem.
+struct Member {
+  ExprId p;
+  ExprId q;
+};
+
+// The call list of (p, q) plus the connective combining its members:
+// AND lists fail fast on false, OR lists succeed fast on true.
+struct CallList {
+  Member members[4];
+  uint8_t count = 0;
+  bool is_and = true;
+  bool leaf_value = false;  // used when count == 0 (case 1)
+};
+
+CallList MembersOf(const ExprArena& a, ExprId p, ExprId q) {
+  CallList c;
+  if (a.KindOf(p) == ExprKind::kSum) {
+    c.is_and = true;
+    c.members[c.count++] = {a.LhsOf(p), q};
+    c.members[c.count++] = {a.RhsOf(p), q};
+    return c;
+  }
+  if (a.KindOf(q) == ExprKind::kProduct &&
+      a.KindOf(p) != ExprKind::kProduct) {
+    c.is_and = true;
+    c.members[c.count++] = {p, a.LhsOf(q)};
+    c.members[c.count++] = {p, a.RhsOf(q)};
+    return c;
+  }
+  if (a.KindOf(p) == ExprKind::kAttr) {
+    switch (a.KindOf(q)) {
+      case ExprKind::kAttr:
+        c.leaf_value = (p == q);
+        return c;
+      case ExprKind::kSum:
+        c.is_and = false;
+        c.members[c.count++] = {p, a.LhsOf(q)};
+        c.members[c.count++] = {p, a.RhsOf(q)};
+        return c;
+      case ExprKind::kProduct:
+        c.is_and = true;
+        c.members[c.count++] = {p, a.LhsOf(q)};
+        c.members[c.count++] = {p, a.RhsOf(q)};
+        return c;
+    }
+  }
+  // p is a product.
+  ExprId p1 = a.LhsOf(p), p2 = a.RhsOf(p);
+  switch (a.KindOf(q)) {
+    case ExprKind::kAttr:
+      c.is_and = false;
+      c.members[c.count++] = {p1, q};
+      c.members[c.count++] = {p2, q};
+      return c;
+    case ExprKind::kProduct:
+      c.is_and = true;
+      c.members[c.count++] = {p, a.LhsOf(q)};
+      c.members[c.count++] = {p, a.RhsOf(q)};
+      return c;
+    case ExprKind::kSum:
+      c.is_and = false;
+      c.members[c.count++] = {p1, q};
+      c.members[c.count++] = {p2, q};
+      c.members[c.count++] = {p, a.LhsOf(q)};
+      c.members[c.count++] = {p, a.RhsOf(q)};
+      return c;
+  }
+  return c;  // unreachable
+}
+
+struct Frame {
+  ExprId p;
+  ExprId q;
+  uint8_t next_member;  // index of the member to evaluate next
+};
+
+}  // namespace
+
+bool WhitmanIterative::Leq(ExprId p, ExprId q,
+                           WhitmanIterativeStats* stats) const {
+  const ExprArena& a = *arena_;
+  std::vector<Frame> stack;
+  stack.push_back({p, q, 0});
+  std::size_t peak = 1, calls = 1;
+  // `ret` carries the value of the child call that just completed;
+  // meaningful only when have_return is true.
+  bool ret = false;
+  bool have_return = false;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    CallList c = MembersOf(a, f.p, f.q);
+    if (c.count == 0) {
+      // Case 1 leaf: A <= A'.
+      ret = c.leaf_value;
+      have_return = true;
+      stack.pop_back();
+      continue;
+    }
+    if (have_return) {
+      // A child of this frame just returned `ret`.
+      bool short_circuit = c.is_and ? !ret : ret;
+      if (short_circuit || f.next_member >= c.count) {
+        // Either the connective is decided, or every member has been
+        // evaluated — in that case the last child's value IS the frame's
+        // value (AND with all-true so far, OR with all-false so far).
+        stack.pop_back();
+        continue;  // `ret` propagates unchanged, have_return stays true
+      }
+      have_return = false;  // descend into the next member
+    }
+    // Push the next member (first visit has next_member == 0 < count).
+    Member m = c.members[f.next_member++];
+    stack.push_back({m.p, m.q, 0});
+    ++calls;
+    peak = std::max(peak, stack.size());
+  }
+  if (stats != nullptr) {
+    stats->peak_stack_depth = std::max(stats->peak_stack_depth, peak);
+    stats->total_calls += calls;
+  }
+  assert(have_return);
+  return ret;
+}
+
+}  // namespace psem

@@ -1,0 +1,220 @@
+#include "partition/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/union_find.h"
+
+namespace psem {
+
+Result<PartitionInterpretation> CanonicalInterpretation(const Database& db,
+                                                        const Relation& r) {
+  if (r.empty()) {
+    return Status::FailedPrecondition(
+        "I(r) requires a nonempty relation (populations must be nonempty)");
+  }
+  PartitionInterpretation interp;
+  std::vector<Elem> population(r.size());
+  for (uint32_t i = 0; i < r.size(); ++i) population[i] = i;
+
+  for (std::size_t c = 0; c < r.arity(); ++c) {
+    const std::string& attr = db.universe().NameOf(r.schema().attrs[c]);
+    // Group tuple indices by the symbol in this column.
+    std::map<ValueId, uint32_t> sym_label;
+    std::vector<uint32_t> labels(r.size());
+    for (uint32_t i = 0; i < r.size(); ++i) {
+      ValueId v = r.row(i)[c];
+      auto [it, inserted] =
+          sym_label.emplace(v, static_cast<uint32_t>(sym_label.size()));
+      (void)inserted;
+      labels[i] = it->second;
+    }
+    Partition atomic = Partition::FromLabels(population, labels);
+    // FromLabels renumbers canonically by first occurrence in element
+    // (= tuple index) order, which matches label assignment order here.
+    std::unordered_map<std::string, uint32_t> naming;
+    for (const auto& [v, label] : sym_label) {
+      naming[db.symbols().NameOf(v)] = label;
+    }
+    PSEM_RETURN_IF_ERROR(
+        interp.DefineAttribute(attr, std::move(atomic), naming));
+  }
+  return interp;
+}
+
+Result<Relation> CanonicalRelation(const PartitionInterpretation& interp,
+                                   Database* db, const std::string& name) {
+  const auto& attr_names = interp.attribute_names();
+  if (attr_names.empty()) {
+    return Status::FailedPrecondition("interpretation defines no attributes");
+  }
+  // Union of populations.
+  std::vector<Elem> all;
+  for (const std::string& a : attr_names) {
+    PSEM_ASSIGN_OR_RETURN(Partition p, interp.AtomicPartition(a));
+    const auto& pop = p.population();
+    all.insert(all.end(), pop.begin(), pop.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  RelationSchema schema;
+  schema.name = name;
+  for (const std::string& a : attr_names) {
+    schema.attrs.push_back(db->universe().Intern(a));
+  }
+  Relation out(std::move(schema));
+  for (Elem i : all) {
+    Tuple t;
+    t.reserve(attr_names.size());
+    for (const std::string& a : attr_names) {
+      PSEM_ASSIGN_OR_RETURN(Partition p, interp.AtomicPartition(a));
+      auto label = p.BlockOf(i);
+      if (label.has_value()) {
+        PSEM_ASSIGN_OR_RETURN(std::string sym, interp.SymbolOfBlock(a, *label));
+        t.push_back(db->symbols().Intern(sym));
+      } else {
+        // i outside p_A: a symbol i_A unique to (i, A).
+        t.push_back(db->symbols().Intern("_pad_" + std::to_string(i) + "_" + a));
+      }
+    }
+    out.AddTuple(std::move(t));
+  }
+  return out;
+}
+
+Result<PartitionInterpretation> EapExtension(
+    const PartitionInterpretation& interp) {
+  // Union of all populations.
+  std::vector<Elem> all;
+  for (const std::string& a : interp.attribute_names()) {
+    PSEM_ASSIGN_OR_RETURN(Partition p, interp.AtomicPartition(a));
+    const auto& pop = p.population();
+    all.insert(all.end(), pop.begin(), pop.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  if (all.empty()) {
+    return Status::FailedPrecondition("interpretation defines no attributes");
+  }
+
+  PartitionInterpretation out;
+  for (const std::string& a : interp.attribute_names()) {
+    PSEM_ASSIGN_OR_RETURN(Partition p, interp.AtomicPartition(a));
+    std::vector<std::vector<Elem>> blocks = p.Blocks();
+    std::unordered_map<std::string, uint32_t> naming;
+    for (uint32_t b = 0; b < blocks.size(); ++b) {
+      PSEM_ASSIGN_OR_RETURN(std::string sym, interp.SymbolOfBlock(a, b));
+      naming[sym] = b;
+    }
+    // Singletons for elements outside p_A, with fresh per-(attr, elem)
+    // symbols.
+    for (Elem e : all) {
+      if (p.BlockOf(e).has_value()) continue;
+      naming["_eap_" + a + "_" + std::to_string(e)] =
+          static_cast<uint32_t>(blocks.size());
+      blocks.push_back({e});
+    }
+    PSEM_RETURN_IF_ERROR(
+        out.DefineAttribute(a, Partition::FromBlocks(blocks), [&] {
+          // FromBlocks renumbers canonically; remap the naming through
+          // block membership.
+          Partition canon = Partition::FromBlocks(blocks);
+          std::unordered_map<std::string, uint32_t> renamed;
+          for (const auto& [sym, old_label] : naming) {
+            renamed[sym] = *canon.BlockOf(blocks[old_label][0]);
+          }
+          return renamed;
+        }()));
+  }
+  return out;
+}
+
+Result<bool> RelationSatisfiesPd(const Database& db, const Relation& r,
+                                 const ExprArena& arena, const Pd& pd) {
+  if (r.empty()) return true;
+  PSEM_ASSIGN_OR_RETURN(PartitionInterpretation interp,
+                        CanonicalInterpretation(db, r));
+  return interp.Satisfies(arena, pd);
+}
+
+namespace {
+
+// Column index of a named attribute, or error.
+Result<std::size_t> ColumnOf(const Database& db, const Relation& r,
+                             const std::string& attr) {
+  PSEM_ASSIGN_OR_RETURN(RelAttrId id, db.universe().Require(attr));
+  std::size_t col = r.schema().ColumnOf(id);
+  if (col == RelationSchema::kNpos) {
+    return Status::InvalidArgument("attribute '" + attr +
+                                   "' not in relation scheme");
+  }
+  return col;
+}
+
+// Union-find over tuples chained by agreement on column a or column b.
+UnionFind ChainComponents(const Relation& r, std::size_t ca, std::size_t cb) {
+  UnionFind uf(r.size());
+  std::unordered_map<ValueId, uint32_t> first_a, first_b;
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    auto [ita, ia] = first_a.emplace(r.row(i)[ca], i);
+    if (!ia) uf.Union(ita->second, i);
+    auto [itb, ib] = first_b.emplace(r.row(i)[cb], i);
+    if (!ib) uf.Union(itb->second, i);
+  }
+  return uf;
+}
+
+}  // namespace
+
+Result<bool> SatisfiesProductPdDirect(const Database& db, const Relation& r,
+                                      const std::string& c,
+                                      const std::string& a,
+                                      const std::string& b) {
+  PSEM_ASSIGN_OR_RETURN(std::size_t cc, ColumnOf(db, r, c));
+  PSEM_ASSIGN_OR_RETURN(std::size_t ca, ColumnOf(db, r, a));
+  PSEM_ASSIGN_OR_RETURN(std::size_t cb, ColumnOf(db, r, b));
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.size(); ++j) {
+      bool eq_c = r.row(i)[cc] == r.row(j)[cc];
+      bool eq_ab = r.row(i)[ca] == r.row(j)[ca] && r.row(i)[cb] == r.row(j)[cb];
+      if (eq_c != eq_ab) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> SatisfiesSumPdDirect(const Database& db, const Relation& r,
+                                  const std::string& c, const std::string& a,
+                                  const std::string& b) {
+  PSEM_ASSIGN_OR_RETURN(std::size_t cc, ColumnOf(db, r, c));
+  PSEM_ASSIGN_OR_RETURN(std::size_t ca, ColumnOf(db, r, a));
+  PSEM_ASSIGN_OR_RETURN(std::size_t cb, ColumnOf(db, r, b));
+  UnionFind uf = ChainComponents(r, ca, cb);
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    for (uint32_t j = i + 1; j < r.size(); ++j) {
+      bool eq_c = r.row(i)[cc] == r.row(j)[cc];
+      if (eq_c != uf.Connected(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> SatisfiesSumUpperPdDirect(const Database& db, const Relation& r,
+                                       const std::string& c,
+                                       const std::string& a,
+                                       const std::string& b) {
+  PSEM_ASSIGN_OR_RETURN(std::size_t cc, ColumnOf(db, r, c));
+  PSEM_ASSIGN_OR_RETURN(std::size_t ca, ColumnOf(db, r, a));
+  PSEM_ASSIGN_OR_RETURN(std::size_t cb, ColumnOf(db, r, b));
+  UnionFind uf = ChainComponents(r, ca, cb);
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    for (uint32_t j = i + 1; j < r.size(); ++j) {
+      if (r.row(i)[cc] == r.row(j)[cc] && !uf.Connected(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace psem

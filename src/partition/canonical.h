@@ -1,0 +1,76 @@
+// The canonical constructions of Section 4.1: I(r), the partition
+// interpretation induced by a relation (Definition 5), and R(I), the
+// relation induced by an interpretation (Definition 6). These are the
+// bridges across which PD satisfaction is transferred to relations
+// (Definition 7) and across which Theorems 3, 6, 7 and Lemma 8.1 move
+// between the relational and the algebraic worlds.
+
+#ifndef PSEM_PARTITION_CANONICAL_H_
+#define PSEM_PARTITION_CANONICAL_H_
+
+#include <string>
+
+#include "lattice/expr.h"
+#include "partition/interpretation.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// I(r) (Definition 5): population = tuple indices of r (for every scheme
+/// attribute — so EAP holds by construction); f_A(x) = the set of indices
+/// of tuples with x in the A column; pi_A = the partition induced by f_A.
+/// Requires r nonempty (populations must be nonempty).
+Result<PartitionInterpretation> CanonicalInterpretation(
+    const Database& db, const Relation& r);
+
+/// R(I) (Definition 6): one tuple t_i per element i of the union of
+/// populations; t_i[A] = x if i is in f_A(x), and a fresh symbol i_A
+/// unique to (i, A) when i is outside p_A. The scheme covers every
+/// attribute the interpretation defines (in definition order).
+Result<Relation> CanonicalRelation(const PartitionInterpretation& interp,
+                                   Database* db,
+                                   const std::string& name = "R_of_I");
+
+/// The EAP extension of Theorem 7's proof: over the union p of all
+/// populations, each atomic partition is padded with singletons
+/// {x} for x outside its own population. The map pi -> pi + singletons is
+/// a lattice homomorphism L(I) -> L(I'), so the extension satisfies every
+/// PD the original does (tests check this on random interpretations);
+/// fresh symbols name the singleton blocks.
+Result<PartitionInterpretation> EapExtension(
+    const PartitionInterpretation& interp);
+
+/// r |= pd per Definition 7: I(r) |= pd. Empty relations satisfy every PD
+/// vacuously (I(r) is undefined for them; every expression means the empty
+/// partition).
+Result<bool> RelationSatisfiesPd(const Database& db, const Relation& r,
+                                 const ExprArena& arena, const Pd& pd);
+
+// --- direct characterizations (Section 4.1 (I), (II), (III)) --------------
+// These bypass I(r) and implement the tuple-level conditions verbatim; the
+// property tests check they agree with RelationSatisfiesPd.
+
+/// (I): r |= C = A * B iff tuples agree on C exactly when they agree on
+/// both A and B.
+Result<bool> SatisfiesProductPdDirect(const Database& db, const Relation& r,
+                                      const std::string& c,
+                                      const std::string& a,
+                                      const std::string& b);
+
+/// (II): r |= C = A + B iff tuples agree on C exactly when they are
+/// connected by a chain of tuples consecutively agreeing on A or on B.
+Result<bool> SatisfiesSumPdDirect(const Database& db, const Relation& r,
+                                  const std::string& c, const std::string& a,
+                                  const std::string& b);
+
+/// The non-first-order inequality of Theorem 4: r |= C <= A + B iff
+/// agreement on C implies chain-connectivity through A/B.
+Result<bool> SatisfiesSumUpperPdDirect(const Database& db, const Relation& r,
+                                       const std::string& c,
+                                       const std::string& a,
+                                       const std::string& b);
+
+}  // namespace psem
+
+#endif  // PSEM_PARTITION_CANONICAL_H_

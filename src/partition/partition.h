@@ -1,0 +1,120 @@
+// Set-theoretic partitions over sparse populations (Section 3.1). A
+// Partition is a family of nonempty disjoint blocks whose union is its
+// population. The two operations of Definition 1's surrounding text are
+// implemented exactly as in the paper:
+//
+//   product  pi * pi'  — blocks are the nonempty pairwise intersections;
+//                        population is the intersection of populations
+//                        (coarsest common refinement when populations agree);
+//   sum      pi + pi'  — blocks are the chain-connected components of the
+//                        union of the two block families; population is the
+//                        union of populations (finest common generalization).
+//
+// Both operations are associative, commutative, and idempotent, and satisfy
+// the absorption laws — the partitions over a fixed population form a
+// lattice (Theorem 1). Property tests in tests/partition_test.cc check all
+// of this on random inputs.
+
+#ifndef PSEM_PARTITION_PARTITION_H_
+#define PSEM_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psem {
+
+/// An element of a population. Populations are arbitrary finite subsets of
+/// the uint32 space.
+using Elem = uint32_t;
+
+/// A partition of a finite population. Canonical representation: elements
+/// sorted ascending, block labels dense in [0, num_blocks) and numbered by
+/// first occurrence, so two partitions are equal iff their representations
+/// are identical.
+class Partition {
+ public:
+  /// The empty partition of the empty population.
+  Partition() = default;
+
+  /// Builds from explicit blocks. Blocks must be nonempty and disjoint.
+  static Partition FromBlocks(const std::vector<std::vector<Elem>>& blocks);
+
+  /// The partition of `population` into singletons (the discrete
+  /// partition, bottom of the partition lattice over that population).
+  static Partition Discrete(std::vector<Elem> population);
+
+  /// The one-block partition of a nonempty `population` (top of the
+  /// lattice). Returns the empty partition if `population` is empty.
+  static Partition OneBlock(std::vector<Elem> population);
+
+  /// Builds from parallel element/label vectors (labels need not be
+  /// canonical; they are renumbered).
+  static Partition FromLabels(std::vector<Elem> elems,
+                              const std::vector<uint32_t>& labels);
+
+  // --- the two operations of Section 3.1 ----------------------------------
+
+  /// pi * pi' : coarsest common refinement over the population
+  /// intersection.
+  static Partition Product(const Partition& a, const Partition& b);
+
+  /// pi + pi' : finest common generalization over the population union
+  /// (blocks chained through overlapping blocks of either operand).
+  static Partition Sum(const Partition& a, const Partition& b);
+
+  // --- queries --------------------------------------------------------------
+
+  std::size_t population_size() const { return elems_.size(); }
+  std::size_t num_blocks() const { return num_blocks_; }
+  bool empty() const { return elems_.empty(); }
+
+  /// Sorted population.
+  const std::vector<Elem>& population() const { return elems_; }
+
+  /// Canonical block label of each element, parallel to population().
+  const std::vector<uint32_t>& labels() const { return labels_; }
+
+  /// Block label of `e`, or nullopt if e is not in the population.
+  std::optional<uint32_t> BlockOf(Elem e) const;
+
+  /// Materializes the block family (each block sorted; blocks in label
+  /// order).
+  std::vector<std::vector<Elem>> Blocks() const;
+
+  /// True iff the populations are equal and every block of *this is
+  /// contained in a block of `other` — i.e. *this <= other in the
+  /// partition lattice over a common population.
+  bool RefinesSamePopulation(const Partition& other) const;
+
+  /// The lattice order via the algebra (Theorem 2): *this <= other iff
+  /// *this == Product(*this, other). Works across different populations
+  /// (requires population containment).
+  bool Leq(const Partition& other) const;
+
+  bool operator==(const Partition& other) const {
+    return elems_ == other.elems_ && labels_ == other.labels_;
+  }
+
+  std::size_t Hash() const;
+
+  /// "{1 2 | 3} over {1 2 3}" style rendering.
+  std::string ToString() const;
+
+ private:
+  void Canonicalize();
+
+  std::vector<Elem> elems_;       // sorted ascending
+  std::vector<uint32_t> labels_;  // parallel, canonical
+  uint32_t num_blocks_ = 0;
+};
+
+/// Hash functor for unordered containers of Partition.
+struct PartitionHash {
+  std::size_t operator()(const Partition& p) const { return p.Hash(); }
+};
+
+}  // namespace psem
+
+#endif  // PSEM_PARTITION_PARTITION_H_

@@ -1,0 +1,144 @@
+#include "partition/partition_lattice.h"
+
+#include <unordered_map>
+
+namespace psem {
+
+std::vector<LatticeElem> PartitionClosure::AssignmentFor(
+    const ExprArena& arena) const {
+  std::vector<LatticeElem> assignment(arena.num_attrs(),
+                                      FiniteLattice::kNoElem);
+  for (std::size_t i = 0; i < atom_name.size(); ++i) {
+    auto id = arena.attr_names().Lookup(atom_name[i]);
+    if (id.has_value()) assignment[*id] = atom_elem[i];
+  }
+  return assignment;
+}
+
+Result<PartitionClosure> ClosePartitions(std::vector<Partition> atoms,
+                                         std::vector<std::string> names,
+                                         std::size_t max_elements) {
+  if (atoms.empty()) {
+    return Status::InvalidArgument("need at least one generator partition");
+  }
+  if (names.size() != atoms.size()) {
+    return Status::InvalidArgument("names must parallel atoms");
+  }
+  std::vector<Partition> elements;
+  std::unordered_map<Partition, LatticeElem, PartitionHash> index;
+  auto add = [&](const Partition& p) -> LatticeElem {
+    auto it = index.find(p);
+    if (it != index.end()) return it->second;
+    LatticeElem id = static_cast<LatticeElem>(elements.size());
+    elements.push_back(p);
+    index.emplace(p, id);
+    return id;
+  };
+  std::vector<LatticeElem> atom_elem;
+  atom_elem.reserve(atoms.size());
+  for (const Partition& a : atoms) atom_elem.push_back(add(a));
+
+  // Closure: repeatedly combine all pairs until stable.
+  for (std::size_t frontier = 0; frontier < elements.size();) {
+    std::size_t snapshot = elements.size();
+    for (std::size_t i = 0; i < snapshot; ++i) {
+      for (std::size_t j = (i < frontier ? frontier : i); j < snapshot; ++j) {
+        add(Partition::Product(elements[i], elements[j]));
+        add(Partition::Sum(elements[i], elements[j]));
+        if (elements.size() > max_elements) {
+          return Status::ResourceExhausted(
+              "partition closure exceeds " + std::to_string(max_elements) +
+              " elements");
+        }
+      }
+    }
+    frontier = snapshot;
+    if (elements.size() == snapshot) break;
+  }
+
+  const std::size_t n = elements.size();
+  std::vector<std::vector<LatticeElem>> meet(n, std::vector<LatticeElem>(n));
+  std::vector<std::vector<LatticeElem>> join(n, std::vector<LatticeElem>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      LatticeElem m = index.at(Partition::Product(elements[i], elements[j]));
+      LatticeElem s = index.at(Partition::Sum(elements[i], elements[j]));
+      meet[i][j] = meet[j][i] = m;
+      join[i][j] = join[j][i] = s;
+    }
+  }
+  std::vector<std::string> elem_names(n);
+  for (std::size_t i = 0; i < atom_elem.size(); ++i) {
+    elem_names[atom_elem[i]] = names[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (elem_names[i].empty()) elem_names[i] = "p" + std::to_string(i);
+  }
+  PartitionClosure out{
+      FiniteLattice(std::move(meet), std::move(join), std::move(elem_names)),
+      std::move(elements), std::move(atom_elem), std::move(names)};
+  return out;
+}
+
+Result<PartitionClosure> InterpretationLattice(
+    const PartitionInterpretation& interp, std::size_t max_elements) {
+  std::vector<Partition> atoms;
+  std::vector<std::string> names;
+  for (const std::string& a : interp.attribute_names()) {
+    PSEM_ASSIGN_OR_RETURN(Partition p, interp.AtomicPartition(a));
+    atoms.push_back(std::move(p));
+    names.push_back(a);
+  }
+  return ClosePartitions(std::move(atoms), std::move(names), max_elements);
+}
+
+namespace {
+
+// Enumerates all partitions of {0..k-1} via restricted growth strings.
+void EnumerateRgs(std::size_t k, std::vector<uint32_t>* rgs, uint32_t max_used,
+                  std::vector<Partition>* out,
+                  const std::vector<Elem>& population) {
+  std::size_t i = rgs->size();
+  if (i == k) {
+    out->push_back(Partition::FromLabels(population, *rgs));
+    return;
+  }
+  for (uint32_t label = 0; label <= max_used + 1 && label < k; ++label) {
+    rgs->push_back(label);
+    EnumerateRgs(k, rgs, std::max(max_used, label), out, population);
+    rgs->pop_back();
+  }
+}
+
+}  // namespace
+
+FullPartitionLatticeResult FullPartitionLattice(std::size_t k) {
+  std::vector<Elem> population(k);
+  for (std::size_t i = 0; i < k; ++i) population[i] = static_cast<Elem>(i);
+  std::vector<Partition> elements;
+  if (k == 0) {
+    elements.push_back(Partition());
+  } else {
+    std::vector<uint32_t> rgs{0};
+    EnumerateRgs(k, &rgs, 0, &elements, population);
+  }
+  std::unordered_map<Partition, LatticeElem, PartitionHash> index;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    index.emplace(elements[i], static_cast<LatticeElem>(i));
+  }
+  const std::size_t n = elements.size();
+  std::vector<std::vector<LatticeElem>> meet(n, std::vector<LatticeElem>(n));
+  std::vector<std::vector<LatticeElem>> join(n, std::vector<LatticeElem>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      LatticeElem m = index.at(Partition::Product(elements[i], elements[j]));
+      LatticeElem s = index.at(Partition::Sum(elements[i], elements[j]));
+      meet[i][j] = meet[j][i] = m;
+      join[i][j] = join[j][i] = s;
+    }
+  }
+  return FullPartitionLatticeResult{
+      FiniteLattice(std::move(meet), std::move(join)), std::move(elements)};
+}
+
+}  // namespace psem

@@ -1,0 +1,57 @@
+// L(I): the closure of an interpretation's atomic partitions under product
+// and sum, materialized as an explicit FiniteLattice (Theorem 1). Also
+// provides the full partition lattice Pi_k of a k-element set, used both
+// as a random-model source for property-testing Algorithm ALG (every
+// lattice of partitions is a lattice with constants) and to realize the
+// paper's figures.
+
+#ifndef PSEM_PARTITION_PARTITION_LATTICE_H_
+#define PSEM_PARTITION_PARTITION_LATTICE_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "lattice/finite_lattice.h"
+#include "partition/interpretation.h"
+#include "partition/partition.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// The result of closing a family of named partitions under * and +.
+struct PartitionClosure {
+  FiniteLattice lattice;              ///< meet/join tables of the closure.
+  std::vector<Partition> elements;    ///< element index -> partition.
+  std::vector<LatticeElem> atom_elem; ///< input index -> element index.
+  std::vector<std::string> atom_name; ///< input index -> attribute name.
+
+  /// Assignment vector usable with FiniteLattice::Eval for expressions
+  /// whose attributes (by name) come from `arena`. Attributes without a
+  /// generator get kNoElem.
+  std::vector<LatticeElem> AssignmentFor(const ExprArena& arena) const;
+};
+
+/// Closes `atoms` under partition product and sum. `max_elements` bounds
+/// the closure (it is finite but can be exponential); exceeding it yields
+/// ResourceExhausted.
+Result<PartitionClosure> ClosePartitions(std::vector<Partition> atoms,
+                                         std::vector<std::string> names,
+                                         std::size_t max_elements = 4096);
+
+/// L(I): closure of the interpretation's atomic partitions (Theorem 1).
+Result<PartitionClosure> InterpretationLattice(
+    const PartitionInterpretation& interp, std::size_t max_elements = 4096);
+
+/// The full lattice Pi_k of all partitions of {0,...,k-1}: meet = product,
+/// join = sum. Sizes are the Bell numbers (1, 1, 2, 5, 15, 52, 203, ...);
+/// k <= 8 is practical.
+struct FullPartitionLatticeResult {
+  FiniteLattice lattice;
+  std::vector<Partition> elements;
+};
+FullPartitionLatticeResult FullPartitionLattice(std::size_t k);
+
+}  // namespace psem
+
+#endif  // PSEM_PARTITION_PARTITION_LATTICE_H_

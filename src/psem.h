@@ -1,0 +1,59 @@
+// psem — Partition Semantics for Relations.
+//
+// Umbrella header: include this to get the full public API of the library
+// reproducing Cosmadakis, Kanellakis & Spyratos, "Partition Semantics for
+// Relations" (PODS 1985 / JCSS 33, 1986).
+//
+// Layering (see DESIGN.md):
+//   util        — Status/Result, bitsets, union-find, interners, RNG
+//   relational  — schemas, relations, databases, algebra, FDs, MVDs
+//   lattice     — partition expressions, Whitman deciders, finite lattices
+//   partition   — partitions, interpretations, canonical constructions
+//   core        — PdTheory, Algorithm ALG, FD theory, FPD bridge,
+//                 Section 6.2 normalization
+//   chase       — tableaux and the Honeyman weak-instance test
+//   graph       — undirected graphs and the Example-e encoding
+//   consistency — Theorem 12 polynomial test, Theorem 11 CAD machinery
+
+#ifndef PSEM_PSEM_H_
+#define PSEM_PSEM_H_
+
+#include "chase/representative.h"
+#include "chase/tableau.h"
+#include "consistency/cad.h"
+#include "consistency/nae3sat.h"
+#include "consistency/pd_consistency.h"
+#include "consistency/repair.h"
+#include "core/armstrong.h"
+#include "core/csv.h"
+#include "core/decompose.h"
+#include "core/dot_export.h"
+#include "core/fd_theory.h"
+#include "core/fpd.h"
+#include "core/implication.h"
+#include "core/io.h"
+#include "core/model_finder.h"
+#include "core/normalize.h"
+#include "core/proof.h"
+#include "core/semigroup.h"
+#include "core/theory.h"
+#include "discovery/discovery.h"
+#include "graph/graph.h"
+#include "query/conjunctive.h"
+#include "lattice/congruence.h"
+#include "lattice/expr.h"
+#include "lattice/finite_lattice.h"
+#include "lattice/lattice_analysis.h"
+#include "lattice/rewrite.h"
+#include "lattice/simplify.h"
+#include "lattice/whitman.h"
+#include "partition/canonical.h"
+#include "partition/interpretation.h"
+#include "partition/partition.h"
+#include "partition/partition_lattice.h"
+#include "relational/algebra.h"
+#include "relational/dependency.h"
+#include "relational/relation.h"
+#include "relational/universe.h"
+
+#endif  // PSEM_PSEM_H_

@@ -1,0 +1,377 @@
+#include "query/conjunctive.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace psem {
+
+namespace {
+
+// Splits "name(t1, t2, ...)" into the name and raw term strings.
+Result<std::pair<std::string, std::vector<std::string>>> SplitAtom(
+    std::string_view text) {
+  std::size_t open = text.find('(');
+  std::size_t close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Status::InvalidArgument("malformed atom '" + std::string(text) +
+                                   "'");
+  }
+  std::string name(StripAsciiWhitespace(text.substr(0, open)));
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument("bad atom name '" + name + "'");
+  }
+  std::vector<std::string> terms =
+      SplitAndStrip(std::string(text.substr(open + 1, close - open - 1)), ',');
+  return std::make_pair(name, terms);
+}
+
+bool IsVariableToken(const std::string& t) {
+  return !t.empty() && std::isupper(static_cast<unsigned char>(t[0]));
+}
+
+// Splits a comma-separated atom list respecting parentheses.
+std::vector<std::string> SplitAtoms(std::string_view text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      auto piece = StripAsciiWhitespace(text.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    } else if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Parse(const std::string& text) {
+  std::size_t sep = text.find(":-");
+  if (sep == std::string::npos) {
+    return Status::InvalidArgument("query must contain ':-'");
+  }
+  ConjunctiveQuery q;
+  std::unordered_map<std::string, uint32_t> var_index;
+  auto term_of = [&](const std::string& token) -> QueryTerm {
+    QueryTerm t;
+    if (IsVariableToken(token)) {
+      t.is_variable = true;
+      auto [it, inserted] =
+          var_index.emplace(token, static_cast<uint32_t>(q.variables.size()));
+      if (inserted) q.variables.push_back(token);
+      t.variable = it->second;
+    } else {
+      std::string c = token;
+      if (c.size() >= 2 && c.front() == '"' && c.back() == '"') {
+        c = c.substr(1, c.size() - 2);
+      }
+      t.constant = c;
+    }
+    return t;
+  };
+
+  // Body first, so head variables can be checked for safety.
+  std::vector<QueryAtom> body;
+  for (const std::string& atom_text : SplitAtoms(text.substr(sep + 2))) {
+    PSEM_ASSIGN_OR_RETURN(auto atom, SplitAtom(atom_text));
+    QueryAtom a;
+    a.relation = atom.first;
+    if (atom.second.empty()) {
+      return Status::InvalidArgument("atom '" + a.relation +
+                                     "' needs at least one term");
+    }
+    for (const std::string& t : atom.second) a.terms.push_back(term_of(t));
+    body.push_back(std::move(a));
+  }
+  if (body.empty()) {
+    return Status::InvalidArgument("query body must be nonempty");
+  }
+  q.body = std::move(body);
+
+  PSEM_ASSIGN_OR_RETURN(auto head_atom,
+                        SplitAtom(StripAsciiWhitespace(text.substr(0, sep))));
+  for (const std::string& t : head_atom.second) {
+    if (!IsVariableToken(t)) {
+      return Status::InvalidArgument("head terms must be variables, got '" +
+                                     t + "'");
+    }
+    auto it = var_index.find(t);
+    if (it == var_index.end()) {
+      return Status::InvalidArgument("unsafe head variable '" + t +
+                                     "' (not in the body)");
+    }
+    q.head.push_back(it->second);
+  }
+  if (q.head.empty()) {
+    return Status::InvalidArgument("head must project at least one variable");
+  }
+  return q;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "ans(";
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += variables[head[i]];
+  }
+  out += ") :- ";
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].relation + "(";
+    for (std::size_t j = 0; j < body[i].terms.size(); ++j) {
+      if (j > 0) out += ", ";
+      const QueryTerm& t = body[i].terms[j];
+      out += t.is_variable ? variables[t.variable] : "\"" + t.constant + "\"";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+constexpr uint32_t kUnbound = UINT32_MAX;
+
+// Generic backtracking joiner. `rows_of(atom)` yields candidate rows;
+// `cell(atom, row, pos)` yields comparable cell values; constants are
+// pre-resolved to the same value space (or kUnbound when impossible).
+struct Joiner {
+  const std::vector<std::vector<std::vector<uint32_t>>>& atom_rows;
+  const std::vector<std::vector<QueryTerm>>& atom_terms;
+  const std::vector<std::vector<uint32_t>>& atom_constants;  // per position
+  std::vector<uint32_t> assignment;  // var -> value (kUnbound if free)
+  std::vector<std::vector<uint32_t>> results;
+
+  void Dfs(std::size_t atom_idx, const std::vector<uint32_t>& head) {
+    if (atom_idx == atom_terms.size()) {
+      std::vector<uint32_t> out;
+      out.reserve(head.size());
+      for (uint32_t v : head) out.push_back(assignment[v]);
+      results.push_back(std::move(out));
+      return;
+    }
+    const auto& terms = atom_terms[atom_idx];
+    const auto& constants = atom_constants[atom_idx];
+    for (const auto& row : atom_rows[atom_idx]) {
+      std::vector<std::pair<uint32_t, uint32_t>> bound;  // (var, old)
+      bool ok = true;
+      for (std::size_t p = 0; p < terms.size() && ok; ++p) {
+        uint32_t cell = row[p];
+        if (terms[p].is_variable) {
+          uint32_t v = terms[p].variable;
+          if (assignment[v] == kUnbound) {
+            bound.emplace_back(v, kUnbound);
+            assignment[v] = cell;
+          } else if (assignment[v] != cell) {
+            ok = false;
+          }
+        } else if (constants[p] == kUnbound || constants[p] != cell) {
+          ok = false;
+        }
+      }
+      if (ok) Dfs(atom_idx + 1, head);
+      for (auto [v, old] : bound) assignment[v] = old;
+    }
+  }
+};
+
+}  // namespace
+
+Result<Relation> EvaluateQuery(Database* db, const ConjunctiveQuery& query) {
+  std::vector<std::vector<std::vector<uint32_t>>> atom_rows;
+  std::vector<std::vector<QueryTerm>> atom_terms;
+  std::vector<std::vector<uint32_t>> atom_constants;
+  for (const QueryAtom& atom : query.body) {
+    PSEM_ASSIGN_OR_RETURN(std::size_t ri, db->IndexOf(atom.relation));
+    const Relation& r = db->relation(ri);
+    if (atom.terms.size() != r.arity()) {
+      return Status::InvalidArgument(
+          "atom " + atom.relation + " has " +
+          std::to_string(atom.terms.size()) + " terms, relation arity is " +
+          std::to_string(r.arity()));
+    }
+    std::vector<std::vector<uint32_t>> rows;
+    for (const Tuple& t : r.rows()) {
+      rows.emplace_back(t.begin(), t.end());
+    }
+    atom_rows.push_back(std::move(rows));
+    atom_terms.push_back(atom.terms);
+    std::vector<uint32_t> constants(atom.terms.size(), kUnbound);
+    for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+      if (!atom.terms[p].is_variable) {
+        // Unknown constants simply never match.
+        auto known = db->symbols().Intern(atom.terms[p].constant);
+        constants[p] = known;
+      }
+    }
+    atom_constants.push_back(std::move(constants));
+  }
+
+  Joiner joiner{atom_rows, atom_terms, atom_constants,
+                std::vector<uint32_t>(query.variables.size(), kUnbound),
+                {}};
+  joiner.Dfs(0, query.head);
+
+  RelationSchema schema;
+  schema.name = "answers";
+  for (uint32_t v : query.head) {
+    schema.attrs.push_back(db->universe().Intern(query.variables[v]));
+  }
+  Relation out(std::move(schema));
+  for (const auto& row : joiner.results) {
+    out.AddTuple(Tuple(row.begin(), row.end()));
+  }
+  return out;
+}
+
+Result<Relation> CertainAnswers(Database* db, const std::vector<Fd>& fds,
+                                const std::vector<std::string>& variables,
+                                const std::vector<uint32_t>& head,
+                                const std::vector<UniversalAtom>& body) {
+  // Chase the representative tableau; we need per-(row, attr) value
+  // classes and per-class constants, which the tableau exposes directly.
+  std::size_t width = db->universe().size();
+  for (const Fd& fd : fds) {
+    width = std::max(width, fd.lhs.size());
+    width = std::max(width, fd.rhs.size());
+  }
+  Tableau t = Tableau::Representative(*db, width);
+  ChaseResult chase = ChaseWithFds(&t, fds);
+  if (!chase.consistent) {
+    return Status::Inconsistent("no weak instance for the FDs");
+  }
+
+  std::vector<std::vector<std::vector<uint32_t>>> atom_rows;
+  std::vector<std::vector<QueryTerm>> atom_terms;
+  std::vector<std::vector<uint32_t>> atom_constants;
+  for (const UniversalAtom& atom : body) {
+    std::vector<QueryTerm> terms;
+    std::vector<uint32_t> constants;
+    std::vector<std::size_t> cols;
+    for (const auto& [attr, term] : atom.bindings) {
+      PSEM_ASSIGN_OR_RETURN(RelAttrId id, db->universe().Require(attr));
+      cols.push_back(id);
+      terms.push_back(term);
+      if (!term.is_variable) {
+        auto known = db->symbols().Intern(term.constant);
+        constants.push_back(known);
+      } else {
+        constants.push_back(kUnbound);
+      }
+    }
+    std::vector<std::vector<uint32_t>> rows;
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      std::vector<uint32_t> row;
+      row.reserve(cols.size());
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        uint32_t cls = t.Resolve(r, cols[p]);
+        if (!terms[p].is_variable) {
+          // Constants must match the class's constant; encode the class
+          // by its constant when it has one, else an unmatchable value.
+          uint32_t constant = t.ConstantOf(cls);
+          row.push_back(constant == Tableau::kNoConstant ? kUnbound - 1
+                                                         : constant);
+        } else {
+          row.push_back(cls);  // variables join on value classes
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    atom_rows.push_back(std::move(rows));
+    atom_terms.push_back(std::move(terms));
+    atom_constants.push_back(std::move(constants));
+  }
+
+  Joiner joiner{atom_rows, atom_terms, atom_constants,
+                std::vector<uint32_t>(variables.size(), kUnbound),
+                {}};
+  joiner.Dfs(0, head);
+
+  RelationSchema schema;
+  schema.name = "certain";
+  for (uint32_t v : head) {
+    schema.attrs.push_back(db->universe().Intern(variables[v]));
+  }
+  Relation out(std::move(schema));
+  for (const auto& row : joiner.results) {
+    // Keep only total answers: every output class carries a constant.
+    Tuple answer;
+    bool total = true;
+    for (uint32_t cls : row) {
+      uint32_t constant = t.ConstantOf(cls);
+      if (constant == Tableau::kNoConstant) {
+        total = false;
+        break;
+      }
+      answer.push_back(constant);
+    }
+    if (total) out.AddTuple(std::move(answer));
+  }
+  return out;
+}
+
+Result<bool> QueryContained(const ConjunctiveQuery& q1,
+                            const ConjunctiveQuery& q2) {
+  if (q1.head.size() != q2.head.size()) {
+    return Status::InvalidArgument("head arities differ");
+  }
+  // Freeze q1: variables become fresh constants "_v<i>".
+  auto frozen_symbol = [&](const QueryTerm& t) {
+    return t.is_variable ? "_v" + std::to_string(t.variable) : t.constant;
+  };
+  Database canon;
+  for (const QueryAtom& atom : q1.body) {
+    std::size_t ri;
+    auto existing = canon.IndexOf(atom.relation);
+    if (existing.ok()) {
+      ri = *existing;
+      if (canon.relation(ri).arity() != atom.terms.size()) {
+        return Status::InvalidArgument("relation '" + atom.relation +
+                                       "' used with two arities in q1");
+      }
+    } else {
+      std::vector<std::string> attrs;
+      for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+        attrs.push_back(atom.relation + "_" + std::to_string(p));
+      }
+      ri = canon.AddRelation(atom.relation, attrs);
+    }
+    std::vector<std::string> row;
+    for (const QueryTerm& t : atom.terms) row.push_back(frozen_symbol(t));
+    canon.relation(ri).AddRow(&canon.symbols(), row);
+  }
+  // Evaluate q2 over the canonical database. A q2 atom over a relation q1
+  // never mentions can never match: containment fails (q1's canonical
+  // database is a witness with a q1-answer and no q2-answer).
+  auto answers = EvaluateQuery(&canon, q2);
+  if (!answers.ok()) {
+    if (answers.status().code() == StatusCode::kNotFound) return false;
+    return answers.status();
+  }
+  // The frozen head tuple of q1.
+  Tuple frozen_head;
+  for (uint32_t v : q1.head) {
+    QueryTerm t;
+    t.is_variable = true;
+    t.variable = v;
+    frozen_head.push_back(canon.symbols().Intern(frozen_symbol(t)));
+  }
+  return answers->Contains(frozen_head);
+}
+
+Result<bool> QueryEquivalent(const ConjunctiveQuery& q1,
+                             const ConjunctiveQuery& q2) {
+  PSEM_ASSIGN_OR_RETURN(bool fwd, QueryContained(q1, q2));
+  if (!fwd) return false;
+  return QueryContained(q2, q1);
+}
+
+}  // namespace psem

@@ -1,0 +1,92 @@
+// Conjunctive queries with certain-answer semantics. The weak instance
+// assumption (Section 4.3) exists to let a fragmented database be queried
+// as if the universal relation existed; the standard semantics is: a
+// tuple is a *certain answer* iff it appears in the query's result over
+// every weak instance. For FD-constrained databases the chased
+// representative instance computes this: evaluate the query over its
+// rows and keep answers whose cells are all constants.
+//
+// Query syntax:  ans(X, Z) :- emp(X, Y), dept(Y, Z), mgr(Y, "kim")
+// — variables are capitalized identifiers, quoted strings (or lowercase
+// identifiers) are constants, the head lists the output variables.
+
+#ifndef PSEM_QUERY_CONJUNCTIVE_H_
+#define PSEM_QUERY_CONJUNCTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/representative.h"
+#include "relational/dependency.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// A term in a query atom: a variable (by index) or a constant symbol.
+struct QueryTerm {
+  bool is_variable = false;
+  uint32_t variable = 0;     ///< index into ConjunctiveQuery::variables
+  std::string constant;      ///< valid iff !is_variable
+};
+
+/// One body atom: relation name + terms matching its arity.
+struct QueryAtom {
+  std::string relation;
+  std::vector<QueryTerm> terms;
+};
+
+/// A conjunctive query.
+struct ConjunctiveQuery {
+  std::vector<std::string> variables;  ///< all variables, by first use
+  std::vector<uint32_t> head;          ///< indices of output variables
+  std::vector<QueryAtom> body;
+
+  /// Parses "ans(X, Y) :- r(X, Z), s(Z, Y, \"const\")". Variables start
+  /// with an uppercase letter; everything else (identifiers, quoted
+  /// strings) is a constant. Every head variable must occur in the body
+  /// (safety).
+  static Result<ConjunctiveQuery> Parse(const std::string& text);
+
+  std::string ToString() const;
+};
+
+/// Evaluates the query over the database's stored relations (closed-world
+/// evaluation; no dependency reasoning). Returns one output tuple per
+/// satisfying assignment, deduplicated, with columns named after the head
+/// variables (attribute names interned into db's universe).
+Result<Relation> EvaluateQuery(Database* db, const ConjunctiveQuery& query);
+
+/// Certain answers under the weak instance assumption: the query is
+/// evaluated over the chased representative instance (every body atom
+/// ranges over ALL rows, matching only cells that resolve to the required
+/// constants), and an answer is kept iff its output cells are constants.
+/// Fails with Inconsistent when the database has no weak instance for the
+/// FDs. Body atoms here range over the universal scheme: each atom names
+/// attributes instead of a stored relation —
+///   ans(X) :- at(Student = X, Course = "db101")
+/// is expressed programmatically via UniversalAtom.
+struct UniversalAtom {
+  std::vector<std::pair<std::string, QueryTerm>> bindings;  // attr -> term
+};
+Result<Relation> CertainAnswers(Database* db, const std::vector<Fd>& fds,
+                                const std::vector<std::string>& variables,
+                                const std::vector<uint32_t>& head,
+                                const std::vector<UniversalAtom>& body);
+
+/// Query containment q1 ⊆ q2 (every database's q1-answers are among its
+/// q2-answers), decided by the Chandra–Merlin homomorphism theorem:
+/// freeze q1's body into its canonical database, evaluate q2 over it, and
+/// check that q1's frozen head tuple is among the answers. Head arities
+/// must match. NP-complete in general; exact for the small queries this
+/// library handles.
+Result<bool> QueryContained(const ConjunctiveQuery& q1,
+                            const ConjunctiveQuery& q2);
+
+/// Containment both ways.
+Result<bool> QueryEquivalent(const ConjunctiveQuery& q1,
+                             const ConjunctiveQuery& q2);
+
+}  // namespace psem
+
+#endif  // PSEM_QUERY_CONJUNCTIVE_H_

@@ -1,0 +1,175 @@
+#include "relational/algebra.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace psem {
+
+Result<Relation> Project(const Relation& r, const std::vector<RelAttrId>& attrs,
+                         const std::string& result_name) {
+  std::vector<std::size_t> cols;
+  cols.reserve(attrs.size());
+  for (RelAttrId a : attrs) {
+    std::size_t c = r.schema().ColumnOf(a);
+    if (c == RelationSchema::kNpos) {
+      return Status::InvalidArgument("projection attribute not in scheme");
+    }
+    cols.push_back(c);
+  }
+  Relation out(RelationSchema{result_name, attrs});
+  for (const Tuple& t : r.rows()) {
+    Tuple p;
+    p.reserve(cols.size());
+    for (std::size_t c : cols) p.push_back(t[c]);
+    out.AddTuple(std::move(p));
+  }
+  return out;
+}
+
+Relation Select(const Relation& r, const std::function<bool(const Tuple&)>& pred,
+                const std::string& result_name) {
+  RelationSchema schema = r.schema();
+  schema.name = result_name;
+  Relation out(std::move(schema));
+  for (const Tuple& t : r.rows()) {
+    if (pred(t)) out.AddTuple(t);
+  }
+  return out;
+}
+
+Result<Relation> SelectEq(const Relation& r, RelAttrId attr, ValueId value,
+                          const std::string& result_name) {
+  std::size_t col = r.schema().ColumnOf(attr);
+  if (col == RelationSchema::kNpos) {
+    return Status::InvalidArgument("selection attribute not in scheme");
+  }
+  return Select(
+      r, [col, value](const Tuple& t) { return t[col] == value; },
+      result_name);
+}
+
+Relation NaturalJoin(const Relation& r, const Relation& s,
+                     const std::string& result_name) {
+  // Common attributes and the column maps.
+  std::vector<std::pair<std::size_t, std::size_t>> common;  // (r col, s col)
+  std::vector<std::size_t> s_extra_cols;
+  for (std::size_t sc = 0; sc < s.arity(); ++sc) {
+    std::size_t rc = r.schema().ColumnOf(s.schema().attrs[sc]);
+    if (rc != RelationSchema::kNpos) {
+      common.emplace_back(rc, sc);
+    } else {
+      s_extra_cols.push_back(sc);
+    }
+  }
+  RelationSchema schema;
+  schema.name = result_name;
+  schema.attrs = r.schema().attrs;
+  for (std::size_t sc : s_extra_cols) schema.attrs.push_back(s.schema().attrs[sc]);
+  Relation out(std::move(schema));
+
+  // Hash s on the common-attribute key.
+  auto key_of = [&](const Tuple& t, bool from_s) {
+    Tuple key;
+    key.reserve(common.size());
+    for (auto [rc, sc] : common) key.push_back(from_s ? t[sc] : t[rc]);
+    return key;
+  };
+  auto hash_key = [](const Tuple& k) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (ValueId v : k) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  };
+  std::unordered_multimap<uint64_t, std::size_t> s_index;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s_index.emplace(hash_key(key_of(s.row(i), true)), i);
+  }
+  for (const Tuple& rt : r.rows()) {
+    Tuple rkey = key_of(rt, false);
+    auto [lo, hi] = s_index.equal_range(hash_key(rkey));
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& st = s.row(it->second);
+      if (key_of(st, true) != rkey) continue;
+      Tuple joined = rt;
+      for (std::size_t sc : s_extra_cols) joined.push_back(st[sc]);
+      out.AddTuple(std::move(joined));
+    }
+  }
+  return out;
+}
+
+namespace {
+Status RequireSameScheme(const Relation& r, const Relation& s) {
+  if (r.schema().attrs != s.schema().attrs) {
+    return Status::InvalidArgument(
+        "operands must have identical attribute lists");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<Relation> Union(const Relation& r, const Relation& s,
+                       const std::string& result_name) {
+  PSEM_RETURN_IF_ERROR(RequireSameScheme(r, s));
+  RelationSchema schema = r.schema();
+  schema.name = result_name;
+  Relation out(std::move(schema));
+  for (const Tuple& t : r.rows()) out.AddTuple(t);
+  for (const Tuple& t : s.rows()) out.AddTuple(t);
+  return out;
+}
+
+Result<Relation> Difference(const Relation& r, const Relation& s,
+                            const std::string& result_name) {
+  PSEM_RETURN_IF_ERROR(RequireSameScheme(r, s));
+  RelationSchema schema = r.schema();
+  schema.name = result_name;
+  Relation out(std::move(schema));
+  for (const Tuple& t : r.rows()) {
+    if (!s.Contains(t)) out.AddTuple(t);
+  }
+  return out;
+}
+
+Result<Relation> CartesianProduct(const Relation& r, const Relation& s,
+                                  const std::string& result_name) {
+  for (RelAttrId a : s.schema().attrs) {
+    if (r.schema().Contains(a)) {
+      return Status::InvalidArgument(
+          "Cartesian product requires attribute-disjoint schemes");
+    }
+  }
+  RelationSchema schema;
+  schema.name = result_name;
+  schema.attrs = r.schema().attrs;
+  schema.attrs.insert(schema.attrs.end(), s.schema().attrs.begin(),
+                      s.schema().attrs.end());
+  Relation out(std::move(schema));
+  for (const Tuple& rt : r.rows()) {
+    for (const Tuple& st : s.rows()) {
+      Tuple joined = rt;
+      joined.insert(joined.end(), st.begin(), st.end());
+      out.AddTuple(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Relation Rename(const Relation& r, const std::string& new_name,
+                const std::vector<RelAttrId>& old_attrs,
+                const std::vector<RelAttrId>& new_attrs) {
+  RelationSchema schema = r.schema();
+  schema.name = new_name;
+  for (std::size_t i = 0; i < old_attrs.size() && i < new_attrs.size(); ++i) {
+    for (auto& a : schema.attrs) {
+      if (a == old_attrs[i]) a = new_attrs[i];
+    }
+  }
+  Relation out(std::move(schema));
+  for (const Tuple& t : r.rows()) out.AddTuple(t);
+  return out;
+}
+
+}  // namespace psem

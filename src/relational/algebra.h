@@ -1,0 +1,57 @@
+// The familiar relational-algebra operations (selection, projection,
+// natural join, union, difference, Cartesian product, rename). The paper's
+// conclusion stresses that partition semantics leave all of these intact —
+// they are syntactic manipulations of syntactic objects — so the library
+// ships a complete implementation over the same Relation type.
+
+#ifndef PSEM_RELATIONAL_ALGEBRA_H_
+#define PSEM_RELATIONAL_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// pi_X(r): projection onto the attributes of `attrs` (kept in the given
+/// order; must all belong to r's scheme). Result is deduplicated.
+Result<Relation> Project(const Relation& r, const std::vector<RelAttrId>& attrs,
+                         const std::string& result_name = "projection");
+
+/// sigma_pred(r): rows for which `pred` returns true.
+Relation Select(const Relation& r, const std::function<bool(const Tuple&)>& pred,
+                const std::string& result_name = "selection");
+
+/// sigma_{A=v}(r).
+Result<Relation> SelectEq(const Relation& r, RelAttrId attr, ValueId value,
+                          const std::string& result_name = "selection");
+
+/// r natural-join s: equality on all common attributes; result scheme is
+/// r's attributes followed by s's non-common attributes.
+Relation NaturalJoin(const Relation& r, const Relation& s,
+                     const std::string& result_name = "join");
+
+/// r U s: schemes must have identical attribute lists.
+Result<Relation> Union(const Relation& r, const Relation& s,
+                       const std::string& result_name = "union");
+
+/// r - s: schemes must have identical attribute lists.
+Result<Relation> Difference(const Relation& r, const Relation& s,
+                            const std::string& result_name = "difference");
+
+/// r x s: schemes must be attribute-disjoint.
+Result<Relation> CartesianProduct(const Relation& r, const Relation& s,
+                                  const std::string& result_name = "product");
+
+/// Renames the relation and (optionally) attributes via parallel old/new
+/// id lists.
+Relation Rename(const Relation& r, const std::string& new_name,
+                const std::vector<RelAttrId>& old_attrs = {},
+                const std::vector<RelAttrId>& new_attrs = {});
+
+}  // namespace psem
+
+#endif  // PSEM_RELATIONAL_ALGEBRA_H_

@@ -1,0 +1,174 @@
+#include "relational/dependency.h"
+
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace psem {
+
+namespace {
+
+Result<std::pair<AttrSet, AttrSet>> ParseSides(Universe* universe,
+                                               std::string_view text,
+                                               std::string_view arrow) {
+  std::size_t pos = text.find(arrow);
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("dependency must contain '" +
+                                   std::string(arrow) + "': '" +
+                                   std::string(text) + "'");
+  }
+  auto parse_side = [&](std::string_view side) -> Result<AttrSet> {
+    std::string normalized(side);
+    for (char& c : normalized) {
+      if (c == ',') c = ' ';
+    }
+    std::vector<std::string> names = SplitAndStrip(normalized, ' ');
+    if (names.empty()) {
+      return Status::InvalidArgument("dependency side must be nonempty");
+    }
+    for (const auto& n : names) {
+      if (!IsIdentifier(n)) {
+        return Status::InvalidArgument("bad attribute name '" + n + "'");
+      }
+    }
+    return universe->MakeSet(names);
+  };
+  PSEM_ASSIGN_OR_RETURN(AttrSet lhs, parse_side(text.substr(0, pos)));
+  PSEM_ASSIGN_OR_RETURN(AttrSet rhs, parse_side(text.substr(pos + arrow.size())));
+  // MakeSet may have grown the universe while parsing rhs; resize lhs.
+  if (lhs.size() < universe->size()) {
+    AttrSet grown(universe->size());
+    lhs.ForEach([&](std::size_t i) { grown.Set(i); });
+    lhs = grown;
+  }
+  return std::make_pair(std::move(lhs), std::move(rhs));
+}
+
+uint64_t HashKey(const Tuple& k) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (ValueId v : k) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<Fd> Fd::Parse(Universe* universe, std::string_view text) {
+  // Guard against parsing an MVD as an FD.
+  if (text.find("->>") != std::string_view::npos) {
+    return Status::InvalidArgument("'->>' is an MVD; use Mvd::Parse");
+  }
+  PSEM_ASSIGN_OR_RETURN(auto sides, ParseSides(universe, text, "->"));
+  return Fd{std::move(sides.first), std::move(sides.second)};
+}
+
+std::string Fd::ToString(const Universe& universe) const {
+  return universe.SetToString(lhs) + " -> " + universe.SetToString(rhs);
+}
+
+Result<Mvd> Mvd::Parse(Universe* universe, std::string_view text) {
+  PSEM_ASSIGN_OR_RETURN(auto sides, ParseSides(universe, text, "->>"));
+  return Mvd{std::move(sides.first), std::move(sides.second)};
+}
+
+std::string Mvd::ToString(const Universe& universe) const {
+  return universe.SetToString(lhs) + " ->> " + universe.SetToString(rhs);
+}
+
+Result<bool> SatisfiesFd(const Relation& r, const Fd& fd) {
+  AttrSet scheme_attrs = r.schema().ToAttrSet(fd.lhs.size());
+  if (!fd.lhs.IsSubsetOf(scheme_attrs) || !fd.rhs.IsSubsetOf(scheme_attrs)) {
+    return Status::InvalidArgument("FD attributes not all in relation scheme");
+  }
+  // Group rows by X-projection; all rows in a group must share the
+  // Y-projection.
+  std::unordered_multimap<uint64_t, std::size_t> groups;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    Tuple x = r.Restrict(r.row(i), fd.lhs);
+    Tuple y = r.Restrict(r.row(i), fd.rhs);
+    uint64_t h = HashKey(x);
+    auto [lo, hi] = groups.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& other = r.row(it->second);
+      if (r.Restrict(other, fd.lhs) == x && r.Restrict(other, fd.rhs) != y) {
+        return false;
+      }
+    }
+    groups.emplace(h, i);
+  }
+  return true;
+}
+
+Result<bool> SatisfiesMvd(const Relation& r, const Mvd& mvd) {
+  AttrSet scheme_attrs = r.schema().ToAttrSet(mvd.lhs.size());
+  if (!mvd.lhs.IsSubsetOf(scheme_attrs) || !mvd.rhs.IsSubsetOf(scheme_attrs)) {
+    return Status::InvalidArgument("MVD attributes not all in relation scheme");
+  }
+  AttrSet z = scheme_attrs;
+  z.SubtractWith(mvd.lhs);
+  z.SubtractWith(mvd.rhs);
+  AttrSet y = mvd.rhs;
+  y.SubtractWith(mvd.lhs);  // WLOG make Y disjoint from X.
+
+  // For each X-group, the set of (Y, Z) combinations must be a full cross
+  // product of the group's Y-projections and Z-projections.
+  struct Group {
+    std::vector<Tuple> ys;
+    std::vector<Tuple> zs;
+    std::vector<std::pair<Tuple, Tuple>> pairs;
+  };
+  std::unordered_map<uint64_t, std::vector<std::pair<Tuple, Group>>> by_x;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    Tuple xk = r.Restrict(r.row(i), mvd.lhs);
+    Tuple yk = r.Restrict(r.row(i), y);
+    Tuple zk = r.Restrict(r.row(i), z);
+    auto& bucket = by_x[HashKey(xk)];
+    Group* g = nullptr;
+    for (auto& [key, grp] : bucket) {
+      if (key == xk) {
+        g = &grp;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      bucket.emplace_back(xk, Group{});
+      g = &bucket.back().second;
+    }
+    auto push_unique = [](std::vector<Tuple>* v, const Tuple& t) {
+      for (const Tuple& u : *v) {
+        if (u == t) return;
+      }
+      v->push_back(t);
+    };
+    push_unique(&g->ys, yk);
+    push_unique(&g->zs, zk);
+    bool seen = false;
+    for (const auto& [py, pz] : g->pairs) {
+      if (py == yk && pz == zk) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) g->pairs.emplace_back(yk, zk);
+  }
+  for (const auto& [h, bucket] : by_x) {
+    (void)h;
+    for (const auto& [key, g] : bucket) {
+      (void)key;
+      if (g.pairs.size() != g.ys.size() * g.zs.size()) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> SatisfiesAllFds(const Relation& r, const std::vector<Fd>& fds) {
+  for (const Fd& fd : fds) {
+    PSEM_ASSIGN_OR_RETURN(bool ok, SatisfiesFd(r, fd));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace psem

@@ -1,0 +1,56 @@
+// Conventional database dependencies over relations (Section 2.1): the
+// functional dependency X -> Y and the multivalued dependency X ->> Y.
+// MVDs exist in this library solely to reproduce Theorem 5 (no set of PDs
+// expresses even the simplest MVD) — they are the yardstick against which
+// PD expressive power is measured in Section 4.2.
+
+#ifndef PSEM_RELATIONAL_DEPENDENCY_H_
+#define PSEM_RELATIONAL_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// A functional dependency X -> Y over a universe. Both sides nonempty.
+struct Fd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const Fd&) const = default;
+
+  /// Parses "A B -> C D" (names separated by spaces and/or commas),
+  /// interning attributes into `universe`.
+  static Result<Fd> Parse(Universe* universe, std::string_view text);
+
+  std::string ToString(const Universe& universe) const;
+};
+
+/// A multivalued dependency X ->> Y over the full scheme of a relation.
+struct Mvd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  static Result<Mvd> Parse(Universe* universe, std::string_view text);
+  std::string ToString(const Universe& universe) const;
+};
+
+/// r |= X -> Y (Section 2.1): tuples agreeing on X agree on Y. All
+/// attributes of the FD must belong to r's scheme.
+Result<bool> SatisfiesFd(const Relation& r, const Fd& fd);
+
+/// r |= X ->> Y over scheme U: whenever t, h agree on X, the tuple taking
+/// Y from t and Z = U - X - Y from h is also in r (the phi of Theorem 5
+/// generalized from the single-attribute case).
+Result<bool> SatisfiesMvd(const Relation& r, const Mvd& mvd);
+
+/// Convenience: r satisfies every FD of the set.
+Result<bool> SatisfiesAllFds(const Relation& r, const std::vector<Fd>& fds);
+
+}  // namespace psem
+
+#endif  // PSEM_RELATIONAL_DEPENDENCY_H_

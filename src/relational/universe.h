@@ -1,0 +1,98 @@
+// The attribute universe (the finite set of attributes of Section 2.1)
+// and the symbol table (the countable set D of data symbols). Both are
+// interners handing out dense 32-bit ids; attribute sets are DynamicBitsets
+// sized to the universe.
+
+#ifndef PSEM_RELATIONAL_UNIVERSE_H_
+#define PSEM_RELATIONAL_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace psem {
+
+/// Dense id of an attribute in a Universe. (Distinct from the lattice
+/// module's arena-local AttrId; core/ bridges the two by name.)
+using RelAttrId = uint32_t;
+
+/// Dense id of a data symbol in a SymbolTable.
+using ValueId = uint32_t;
+
+/// A set of attributes, represented as a bitset over the universe.
+using AttrSet = DynamicBitset;
+
+/// The finite attribute set of a database scheme.
+class Universe {
+ public:
+  /// Interns an attribute name, returning its id.
+  RelAttrId Intern(std::string_view name) { return names_.Intern(name); }
+
+  /// Looks up an existing attribute.
+  Result<RelAttrId> Require(std::string_view name) const {
+    auto id = names_.Lookup(name);
+    if (!id) {
+      return Status::NotFound("unknown attribute '" + std::string(name) + "'");
+    }
+    return *id;
+  }
+
+  const std::string& NameOf(RelAttrId id) const { return names_.NameOf(id); }
+  std::size_t size() const { return names_.size(); }
+
+  /// An empty attribute set sized to the current universe.
+  AttrSet EmptySet() const { return AttrSet(size()); }
+
+  /// Interns every name and returns the set of their ids.
+  AttrSet MakeSet(const std::vector<std::string>& names) {
+    for (const auto& n : names) Intern(n);
+    AttrSet s(size());
+    for (const auto& n : names) s.Set(*names_.Lookup(n));
+    return s;
+  }
+
+  /// Renders an attribute set as "A B C" in id order.
+  std::string SetToString(const AttrSet& s) const {
+    std::string out;
+    s.ForEach([&](std::size_t i) {
+      if (!out.empty()) out += " ";
+      out += NameOf(static_cast<RelAttrId>(i));
+    });
+    return out;
+  }
+
+ private:
+  StringInterner names_;
+};
+
+/// The data-symbol set D of Section 2.1.
+class SymbolTable {
+ public:
+  ValueId Intern(std::string_view s) { return syms_.Intern(s); }
+  const std::string& NameOf(ValueId v) const { return syms_.NameOf(v); }
+  std::size_t size() const { return syms_.size(); }
+
+  /// Mints a symbol guaranteed not to collide with user symbols; used for
+  /// padding canonical relations (Definition 6's i_A symbols) and test
+  /// data.
+  ValueId Fresh(std::string_view prefix = "#") {
+    std::string name = std::string(prefix) + std::to_string(fresh_counter_++);
+    while (syms_.Lookup(name)) {
+      name = std::string(prefix) + std::to_string(fresh_counter_++);
+    }
+    return syms_.Intern(name);
+  }
+
+ private:
+  StringInterner syms_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_RELATIONAL_UNIVERSE_H_

@@ -1,0 +1,168 @@
+// DynamicBitset: a fixed-universe bitset sized at runtime. Used for
+// attribute sets (Section 2.1) and for the arc matrices of Algorithm ALG
+// (Section 5.2), where bit-parallel row operations give the O(n^4)
+// closure a small constant factor.
+
+#ifndef PSEM_UTIL_BITSET_H_
+#define PSEM_UTIL_BITSET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace psem {
+
+/// A bitset over {0, ..., n-1} with word-parallel set operations.
+class DynamicBitset {
+ public:
+  DynamicBitset() : num_bits_(0) {}
+
+  /// All bits initially clear.
+  explicit DynamicBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return num_bits_; }
+
+  void Set(std::size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Reset(std::size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(std::size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  /// In-place union; returns true iff this changed. Sizes must match.
+  bool UnionWith(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    bool changed = false;
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      uint64_t before = words_[k];
+      words_[k] |= other.words_[k];
+      changed |= (words_[k] != before);
+    }
+    return changed;
+  }
+
+  /// In-place union with (a AND b); returns true iff this changed.
+  bool UnionWithAnd(const DynamicBitset& a, const DynamicBitset& b) {
+    assert(num_bits_ == a.num_bits_ && num_bits_ == b.num_bits_);
+    bool changed = false;
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      uint64_t before = words_[k];
+      words_[k] |= (a.words_[k] & b.words_[k]);
+      changed |= (words_[k] != before);
+    }
+    return changed;
+  }
+
+  /// In-place intersection.
+  void IntersectWith(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= other.words_[k];
+  }
+
+  /// In-place difference (this \ other).
+  void SubtractWith(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= ~other.words_[k];
+  }
+
+  /// True iff this is a subset of other.
+  bool IsSubsetOf(const DynamicBitset& other) const {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t k = 0; k < words_.size(); ++k)
+      if (words_[k] & ~other.words_[k]) return false;
+    return true;
+  }
+
+  bool Intersects(const DynamicBitset& other) const {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t k = 0; k < words_.size(); ++k)
+      if (words_[k] & other.words_[k]) return true;
+    return false;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t NextSetBit(std::size_t from) const {
+    if (from >= num_bits_) return num_bits_;
+    std::size_t word = from >> 6;
+    uint64_t w = words_[word] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (w) {
+        std::size_t bit = (word << 6) +
+                          static_cast<std::size_t>(__builtin_ctzll(w));
+        return bit < num_bits_ ? bit : num_bits_;
+      }
+      if (++word >= words_.size()) return num_bits_;
+      w = words_[word];
+    }
+  }
+
+  /// Calls fn(i) for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = NextSetBit(0); i < num_bits_; i = NextSetBit(i + 1)) {
+      fn(i);
+    }
+  }
+
+  /// Hash suitable for unordered containers.
+  std::size_t Hash() const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (uint64_t w : words_) {
+      h ^= static_cast<std::size_t>(w);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+
+ private:
+  void TrimTail() {
+    std::size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_UTIL_BITSET_H_

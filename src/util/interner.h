@@ -1,0 +1,49 @@
+// StringInterner: bidirectional string <-> dense id mapping. Attribute
+// names (the universe of Section 2.1) and data symbols (the set D) are
+// interned once so the rest of the library works with dense 32-bit ids.
+
+#ifndef PSEM_UTIL_INTERNER_H_
+#define PSEM_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psem {
+
+/// Interns strings into dense ids 0..size()-1, preserving insertion order.
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it if new.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` if already interned.
+  std::optional<uint32_t> Lookup(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// The string for an id. Precondition: id < size().
+  const std::string& NameOf(uint32_t id) const { return strings_[id]; }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_UTIL_INTERNER_H_

@@ -1,0 +1,144 @@
+// Status and Result<T>: exception-free error propagation for the psem
+// library, following the RocksDB/Arrow idiom. All fallible public APIs
+// return Status (or Result<T> when they produce a value).
+
+#ifndef PSEM_UTIL_STATUS_H_
+#define PSEM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace psem {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad expression syntax, arity, ...).
+  kNotFound,          ///< Named attribute/relation/symbol does not exist.
+  kFailedPrecondition,///< Object state does not admit the operation.
+  kOutOfRange,        ///< Index or identifier outside the valid range.
+  kResourceExhausted, ///< A configured limit (e.g. lattice-closure cap) hit.
+  kInconsistent,      ///< A consistency test failed (domain-level, not a bug).
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the success path (no
+/// allocation); error path carries a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error outcome. Holds T on success, a non-OK Status otherwise.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PSEM_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::psem::Status _psem_st = (expr);         \
+    if (!_psem_st.ok()) return _psem_st;      \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. Usage: PSEM_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define PSEM_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  PSEM_ASSIGN_OR_RETURN_IMPL_(                                   \
+      PSEM_STATUS_CONCAT_(_psem_res_, __LINE__), lhs, rexpr)
+#define PSEM_STATUS_CONCAT_INNER_(a, b) a##b
+#define PSEM_STATUS_CONCAT_(a, b) PSEM_STATUS_CONCAT_INNER_(a, b)
+#define PSEM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace psem
+
+#endif  // PSEM_UTIL_STATUS_H_

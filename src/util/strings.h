@@ -1,0 +1,27 @@
+// Small string helpers shared by parsers and pretty-printers.
+
+#ifndef PSEM_UTIL_STRINGS_H_
+#define PSEM_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psem {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits on `sep`, stripping whitespace from every piece; empty pieces are
+/// dropped.
+std::vector<std::string> SplitAndStrip(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True iff `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace psem
+
+#endif  // PSEM_UTIL_STRINGS_H_

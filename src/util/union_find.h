@@ -1,0 +1,91 @@
+// Disjoint-set (union-find) structure with path compression and union by
+// rank. This is the workhorse behind partition sums (Section 3.1 of the
+// paper: `+` is the finest common generalization, i.e. transitive chaining
+// of overlapping blocks) and behind the chase's value-equating step.
+
+#ifndef PSEM_UTIL_UNION_FIND_H_
+#define PSEM_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace psem {
+
+/// Union-find over the dense universe {0, 1, ..., n-1}.
+class UnionFind {
+ public:
+  /// Creates n singleton sets.
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  UnionFind() : UnionFind(0) {}
+
+  /// Number of elements in the universe.
+  std::size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets currently.
+  std::size_t num_sets() const { return num_sets_; }
+
+  /// Appends a fresh singleton element; returns its index.
+  uint32_t AddElement() {
+    uint32_t id = static_cast<uint32_t>(parent_.size());
+    parent_.push_back(id);
+    rank_.push_back(0);
+    ++num_sets_;
+    return id;
+  }
+
+  /// Canonical representative of x's set (with path compression).
+  uint32_t Find(uint32_t x) {
+    uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of x and y. Returns true iff they were distinct.
+  bool Union(uint32_t x, uint32_t y) {
+    uint32_t rx = Find(x);
+    uint32_t ry = Find(y);
+    if (rx == ry) return false;
+    if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    if (rank_[rx] == rank_[ry]) ++rank_[rx];
+    --num_sets_;
+    return true;
+  }
+
+  /// True iff x and y are in the same set.
+  bool Connected(uint32_t x, uint32_t y) { return Find(x) == Find(y); }
+
+  /// Returns, for each element, a canonical set id in [0, num_sets()),
+  /// numbered by first occurrence (element order). Useful for turning the
+  /// structure into a canonical partition labeling.
+  std::vector<uint32_t> CanonicalLabels() {
+    std::vector<uint32_t> labels(parent_.size());
+    std::vector<uint32_t> root_to_label(parent_.size(), kNoLabel);
+    uint32_t next = 0;
+    for (uint32_t i = 0; i < parent_.size(); ++i) {
+      uint32_t r = Find(i);
+      if (root_to_label[r] == kNoLabel) root_to_label[r] = next++;
+      labels[i] = root_to_label[r];
+    }
+    return labels;
+  }
+
+ private:
+  static constexpr uint32_t kNoLabel = UINT32_MAX;
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  std::size_t num_sets_;
+};
+
+}  // namespace psem
+
+#endif  // PSEM_UTIL_UNION_FIND_H_

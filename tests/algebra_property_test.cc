@@ -1,0 +1,179 @@
+// Property tests for the relational-algebra substrate: the classical
+// algebraic laws (join commutativity/associativity up to column order,
+// selection pushdown, distribution over union, projection cascades) on
+// random relations. The paper's conclusion notes that partition semantics
+// leave all of relational algebra intact; these tests pin down that the
+// algebra itself behaves.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relational/algebra.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+// Compares two relations as sets of tuples over the same attribute SET,
+// ignoring column order.
+bool SameContent(const Database& db, const Relation& a, const Relation& b) {
+  AttrSet sa = a.schema().ToAttrSet(db.universe().size());
+  AttrSet sb = b.schema().ToAttrSet(db.universe().size());
+  if (!(sa == sb)) return false;
+  if (a.size() != b.size()) return false;
+  // Canonicalize each tuple into universe-id order.
+  auto canon = [&](const Relation& r) {
+    std::vector<Tuple> rows;
+    for (const Tuple& t : r.rows()) rows.push_back(r.Restrict(t, sa));
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  return canon(a) == canon(b);
+}
+
+struct Fixture {
+  Database db;
+  std::size_t r_idx, s_idx;
+
+  explicit Fixture(Rng* rng, int rows_r = 6, int rows_s = 6) {
+    r_idx = db.AddRelation("r", {"A", "B"});
+    s_idx = db.AddRelation("s", {"B", "C"});
+    for (int i = 0; i < rows_r; ++i) {
+      db.relation(r_idx).AddRow(&db.symbols(),
+                                {"a" + std::to_string(rng->Below(3)),
+                                 "b" + std::to_string(rng->Below(3))});
+    }
+    for (int i = 0; i < rows_s; ++i) {
+      db.relation(s_idx).AddRow(&db.symbols(),
+                                {"b" + std::to_string(rng->Below(3)),
+                                 "c" + std::to_string(rng->Below(3))});
+    }
+  }
+  Relation& r() { return db.relation(r_idx); }
+  Relation& s() { return db.relation(s_idx); }
+};
+
+class AlgebraLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgebraLawsTest, JoinIsCommutativeUpToColumnOrder) {
+  Rng rng(21000 + GetParam());
+  Fixture f(&rng);
+  Relation rs = NaturalJoin(f.r(), f.s());
+  Relation sr = NaturalJoin(f.s(), f.r());
+  EXPECT_TRUE(SameContent(f.db, rs, sr));
+}
+
+TEST_P(AlgebraLawsTest, JoinIsAssociative) {
+  Rng rng(21100 + GetParam());
+  Fixture f(&rng);
+  std::size_t t_idx = f.db.AddRelation("t", {"C", "D"});
+  for (int i = 0; i < 6; ++i) {
+    f.db.relation(t_idx).AddRow(&f.db.symbols(),
+                                {"c" + std::to_string(rng.Below(3)),
+                                 "d" + std::to_string(rng.Below(3))});
+  }
+  Relation& t = f.db.relation(t_idx);
+  Relation left = NaturalJoin(NaturalJoin(f.r(), f.s()), t);
+  Relation right = NaturalJoin(f.r(), NaturalJoin(f.s(), t));
+  EXPECT_TRUE(SameContent(f.db, left, right));
+}
+
+TEST_P(AlgebraLawsTest, SelectionCommutesWithJoin) {
+  // sigma_{A=v}(r join s) == sigma_{A=v}(r) join s when A is r's column.
+  Rng rng(21200 + GetParam());
+  Fixture f(&rng);
+  RelAttrId a = *f.db.universe().Require("A");
+  ValueId v = f.db.symbols().Intern("a1");
+  Relation lhs = *SelectEq(NaturalJoin(f.r(), f.s()), a, v);
+  Relation rhs = NaturalJoin(*SelectEq(f.r(), a, v), f.s());
+  EXPECT_TRUE(SameContent(f.db, lhs, rhs));
+}
+
+TEST_P(AlgebraLawsTest, SelectionDistributesOverUnionAndDifference) {
+  Rng rng(21300 + GetParam());
+  Database db;
+  std::size_t x_idx = db.AddRelation("x", {"A", "B"});
+  std::size_t y_idx = db.AddRelation("y", {"A", "B"});
+  for (int i = 0; i < 8; ++i) {
+    db.relation(x_idx).AddRow(&db.symbols(),
+                              {"a" + std::to_string(rng.Below(3)),
+                               "b" + std::to_string(rng.Below(2))});
+    db.relation(y_idx).AddRow(&db.symbols(),
+                              {"a" + std::to_string(rng.Below(3)),
+                               "b" + std::to_string(rng.Below(2))});
+  }
+  Relation& x = db.relation(x_idx);
+  Relation& y = db.relation(y_idx);
+  RelAttrId a = *db.universe().Require("A");
+  ValueId v = db.symbols().Intern("a0");
+  EXPECT_TRUE(SameContent(db, *SelectEq(*Union(x, y), a, v),
+                          *Union(*SelectEq(x, a, v), *SelectEq(y, a, v))));
+  EXPECT_TRUE(SameContent(
+      db, *SelectEq(*Difference(x, y), a, v),
+      *Difference(*SelectEq(x, a, v), *SelectEq(y, a, v))));
+}
+
+TEST_P(AlgebraLawsTest, ProjectionCascade) {
+  // pi_A(pi_AB(r)) == pi_A(r).
+  Rng rng(21400 + GetParam());
+  Fixture f(&rng);
+  RelAttrId a = *f.db.universe().Require("A");
+  RelAttrId b = *f.db.universe().Require("B");
+  Relation inner = *Project(f.r(), {a, b});
+  EXPECT_TRUE(SameContent(f.db, *Project(inner, {a}), *Project(f.r(), {a})));
+}
+
+TEST_P(AlgebraLawsTest, JoinWithSelfIsIdentity) {
+  Rng rng(21500 + GetParam());
+  Fixture f(&rng);
+  Relation self = NaturalJoin(f.r(), f.r());
+  EXPECT_TRUE(SameContent(f.db, self, f.r()));
+}
+
+TEST_P(AlgebraLawsTest, UnionIsIdempotentCommutativeAssociative) {
+  Rng rng(21600 + GetParam());
+  Database db;
+  std::vector<Relation*> rel;
+  for (int k = 0; k < 3; ++k) {
+    std::size_t idx = db.AddRelation("u" + std::to_string(k), {"A", "B"});
+    for (int i = 0; i < 5; ++i) {
+      db.relation(idx).AddRow(&db.symbols(),
+                              {"a" + std::to_string(rng.Below(3)),
+                               "b" + std::to_string(rng.Below(3))});
+    }
+    rel.push_back(&db.relation(idx));
+  }
+  EXPECT_TRUE(SameContent(db, *Union(*rel[0], *rel[0]), *rel[0]));
+  EXPECT_TRUE(SameContent(db, *Union(*rel[0], *rel[1]),
+                          *Union(*rel[1], *rel[0])));
+  EXPECT_TRUE(SameContent(db, *Union(*Union(*rel[0], *rel[1]), *rel[2]),
+                          *Union(*rel[0], *Union(*rel[1], *rel[2]))));
+}
+
+TEST_P(AlgebraLawsTest, DifferenceLaws) {
+  Rng rng(21700 + GetParam());
+  Database db;
+  std::size_t x_idx = db.AddRelation("x", {"A"});
+  std::size_t y_idx = db.AddRelation("y", {"A"});
+  for (int i = 0; i < 6; ++i) {
+    db.relation(x_idx).AddRow(&db.symbols(), {"a" + std::to_string(rng.Below(4))});
+    db.relation(y_idx).AddRow(&db.symbols(), {"a" + std::to_string(rng.Below(4))});
+  }
+  Relation& x = db.relation(x_idx);
+  Relation& y = db.relation(y_idx);
+  // x - x = empty; (x - y) subset x; x - (x - y) = x intersect y.
+  EXPECT_EQ(Difference(x, x)->size(), 0u);
+  Relation diff = *Difference(x, y);
+  for (const Tuple& t : diff.rows()) EXPECT_TRUE(x.Contains(t));
+  Relation xy = *Difference(x, *Difference(x, y));
+  for (const Tuple& t : xy.rows()) {
+    EXPECT_TRUE(x.Contains(t));
+    EXPECT_TRUE(y.Contains(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLawsTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,169 @@
+// Tests for congruence closure (the <-->_E of Section 5.1, step III) and
+// the EAP extension homomorphism (Theorem 7's proof device).
+
+#include <gtest/gtest.h>
+
+#include "core/implication.h"
+#include "lattice/congruence.h"
+#include "partition/canonical.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+TEST(CongruenceTest, BasicMergeAndQuery) {
+  ExprArena a;
+  CongruenceClosure cc(&a);
+  ExprId x = a.Attr("A"), y = a.Attr("B");
+  EXPECT_FALSE(cc.Equivalent(x, y));
+  cc.AddEquation(x, y);
+  EXPECT_TRUE(cc.Equivalent(x, y));
+}
+
+TEST(CongruenceTest, UpwardPropagation) {
+  ExprArena a;
+  ExprId ac = *a.Parse("A*C");
+  ExprId bc = *a.Parse("B*C");
+  CongruenceClosure cc(&a);
+  cc.AddEquation(a.Attr("A"), a.Attr("B"));
+  // A ~ B forces A*C ~ B*C (congruence), even though the parents were
+  // registered before the merge.
+  EXPECT_TRUE(cc.Equivalent(ac, bc));
+  // But NOT A*C ~ C*A: no commutativity without the lattice axioms.
+  EXPECT_FALSE(cc.Equivalent(ac, *a.Parse("C*A")));
+  // And operators stay distinct.
+  EXPECT_FALSE(cc.Equivalent(*a.Parse("A*C"), *a.Parse("A+C")));
+}
+
+TEST(CongruenceTest, TransitiveChains) {
+  ExprArena a;
+  CongruenceClosure cc(&a);
+  cc.AddEquation(a.Attr("A"), a.Attr("B"));
+  cc.AddEquation(a.Attr("B"), a.Attr("C"));
+  EXPECT_TRUE(cc.Equivalent(a.Attr("A"), a.Attr("C")));
+  EXPECT_TRUE(cc.Equivalent(*a.Parse("A+D"), *a.Parse("C+D")));
+}
+
+TEST(CongruenceTest, NestedPropagation) {
+  ExprArena a;
+  ExprId deep1 = *a.Parse("(A*B)+(C*(A*B))");
+  ExprId deep2 = *a.Parse("(X)+(C*X)");
+  CongruenceClosure cc(&a);
+  cc.AddEquation(*a.Parse("A*B"), a.Attr("X"));
+  EXPECT_TRUE(cc.Equivalent(deep1, deep2));
+}
+
+TEST(CongruenceTest, NumClassesShrinks) {
+  ExprArena a;
+  CongruenceClosure cc(&a);
+  ExprId x = a.Attr("A"), y = a.Attr("B"), z = a.Attr("C");
+  (void)cc.Equivalent(x, y);
+  (void)cc.Equivalent(y, z);
+  std::size_t before = cc.NumClasses();
+  cc.AddEquation(x, y);
+  EXPECT_LT(cc.NumClasses(), before);
+}
+
+TEST(CongruenceTest, SubsumedByFullImplication) {
+  // <-->_E implies =_E (never conversely): every congruence-equivalent
+  // pair is ALG-equivalent; commutative pairs are ALG- but not
+  // congruence-equivalent.
+  Rng rng(41000);
+  for (int trial = 0; trial < 10; ++trial) {
+    ExprArena a;
+    std::vector<Pd> e;
+    for (int i = 0; i < 2; ++i) {
+      std::string lhs(1, static_cast<char>('A' + rng.Below(3)));
+      std::string rhs(1, static_cast<char>('A' + rng.Below(3)));
+      e.push_back(Pd::Eq(a.Attr(lhs), a.Attr(rhs)));
+    }
+    CongruenceClosure cc(&a);
+    for (const Pd& pd : e) cc.AddEquation(pd.lhs, pd.rhs);
+    PdImplicationEngine engine(&a, e);
+    for (const char* t1 : {"A*B", "B+C", "A*(B+C)", "A", "C*C"}) {
+      for (const char* t2 : {"B*A", "A*B", "C+B", "B", "A*(B+C)"}) {
+        ExprId x = *a.Parse(t1);
+        ExprId y = *a.Parse(t2);
+        if (cc.Equivalent(x, y)) {
+          EXPECT_TRUE(engine.Implies(Pd::Eq(x, y)))
+              << t1 << " ~ " << t2;
+        }
+      }
+    }
+  }
+  // The strictness direction.
+  ExprArena a;
+  CongruenceClosure cc(&a);
+  PdImplicationEngine engine(&a, {});
+  ExprId ab = *a.Parse("A*B");
+  ExprId ba = *a.Parse("B*A");
+  EXPECT_TRUE(engine.Implies(Pd::Eq(ab, ba)));
+  EXPECT_FALSE(cc.Equivalent(ab, ba));
+}
+
+// --- EAP extension ------------------------------------------------------------
+
+TEST(EapExtensionTest, ProducesEapAndPreservesBlocks) {
+  PartitionInterpretation interp;
+  Partition pa = Partition::FromBlocks({{1, 2}});
+  ASSERT_TRUE(interp.DefineAttribute("A", pa, {{"x", 0}}).ok());
+  Partition pb = Partition::FromBlocks({{2, 3}, {4}});
+  ASSERT_TRUE(interp
+                  .DefineAttribute("B", pb,
+                                   {{"y", *pb.BlockOf(2)},
+                                    {"z", *pb.BlockOf(4)}})
+                  .ok());
+  ASSERT_FALSE(interp.SatisfiesEap());
+  PartitionInterpretation ext = *EapExtension(interp);
+  EXPECT_TRUE(ext.SatisfiesEap());
+  // Original block of A survives; 3 and 4 became singletons of A.
+  EXPECT_EQ(*ext.NamedBlock("A", "x"), (std::vector<Elem>{1, 2}));
+  Partition ea = *ext.AtomicPartition("A");
+  EXPECT_EQ(ea.population(), (std::vector<Elem>{1, 2, 3, 4}));
+  EXPECT_EQ(*ea.BlockOf(3), *ea.BlockOf(3));
+  EXPECT_NE(*ea.BlockOf(3), *ea.BlockOf(4));
+}
+
+TEST(EapExtensionTest, HomomorphismPreservesSatisfiedPds) {
+  // Theorem 7's proof: L(I') is a homomorphic image of L(I), so every PD
+  // satisfied by I is satisfied by its EAP extension.
+  Rng rng(42000);
+  ExprArena arena;
+  std::vector<Pd> pds = {
+      *arena.ParsePd("A <= B"),    *arena.ParsePd("B <= A"),
+      *arena.ParsePd("C = A*B"),   *arena.ParsePd("C = A+B"),
+      *arena.ParsePd("C <= A+B"),  *arena.ParsePd("A*B = A*C"),
+  };
+  int preserved_checks = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    PartitionInterpretation interp;
+    const char* names[] = {"A", "B", "C"};
+    for (const char* name : names) {
+      std::vector<Elem> pop;
+      for (Elem e = 0; e < 6; ++e) {
+        if (rng.Chance(2, 3)) pop.push_back(e);
+      }
+      if (pop.empty()) pop.push_back(0);
+      std::vector<uint32_t> labels(pop.size());
+      for (auto& l : labels) l = static_cast<uint32_t>(rng.Below(3));
+      Partition p = Partition::FromLabels(pop, labels);
+      std::unordered_map<std::string, uint32_t> naming;
+      for (uint32_t b = 0; b < p.num_blocks(); ++b) {
+        naming[std::string(name) + std::to_string(b)] = b;
+      }
+      ASSERT_TRUE(interp.DefineAttribute(name, p, naming).ok());
+    }
+    PartitionInterpretation ext = *EapExtension(interp);
+    ASSERT_TRUE(ext.SatisfiesEap());
+    for (const Pd& pd : pds) {
+      if (*interp.Satisfies(arena, pd)) {
+        EXPECT_TRUE(*ext.Satisfies(arena, pd)) << arena.ToString(pd);
+        ++preserved_checks;
+      }
+    }
+  }
+  EXPECT_GT(preserved_checks, 0);
+}
+
+}  // namespace
+}  // namespace psem

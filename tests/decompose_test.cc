@@ -1,0 +1,184 @@
+// Tests for BCNF decomposition, 3NF synthesis, the lossless-join chase
+// test, and dependency preservation — including randomized property
+// sweeps tying them together.
+
+#include <gtest/gtest.h>
+
+#include "core/decompose.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+TEST(BcnfTest, ClassifiesTextbookSchemes) {
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A -> B").ok());
+  AttrSet abc = u.MakeSet({"A", "B", "C"});
+  // A -> B with key AC: violation (A is not a superkey).
+  EXPECT_FALSE(IsBcnf(t, abc));
+  AttrSet ab = u.MakeSet({"A", "B"});
+  EXPECT_TRUE(IsBcnf(t, ab));  // A is a key of AB
+  // Two-attribute schemes are always BCNF.
+  EXPECT_TRUE(IsBcnf(t, u.MakeSet({"B", "C"})));
+}
+
+TEST(BcnfTest, DecomposeClassicExample) {
+  // city_street_zip: CS -> Z, Z -> C. The classic non-dependency-
+  // preserving BCNF case.
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("C S -> Z").ok());
+  ASSERT_TRUE(t.AddParsed("Z -> C").ok());
+  AttrSet scheme = u.MakeSet({"C", "S", "Z"});
+  auto parts = DecomposeBcnf(t, scheme);
+  for (const AttrSet& p : parts) {
+    EXPECT_TRUE(IsBcnf(t, p)) << u.SetToString(p);
+  }
+  EXPECT_TRUE(HasLosslessJoin(t, scheme, parts));
+  // The famous caveat: CS -> Z is not preserved.
+  EXPECT_FALSE(PreservesDependencies(t, parts));
+}
+
+TEST(BcnfTest, AlreadyBcnfStaysWhole) {
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A -> B C").ok());
+  AttrSet scheme = u.MakeSet({"A", "B", "C"});
+  auto parts = DecomposeBcnf(t, scheme);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], scheme);
+}
+
+TEST(LosslessJoinTest, ClassicPositiveAndNegative) {
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("B -> C").ok());
+  AttrSet scheme = u.MakeSet({"A", "B", "C"});
+  // {AB, BC} with B -> C: lossless.
+  EXPECT_TRUE(HasLosslessJoin(t, scheme,
+                              {u.MakeSet({"A", "B"}), u.MakeSet({"B", "C"})}));
+  // {AB, AC} with only B -> C: lossy.
+  EXPECT_FALSE(HasLosslessJoin(t, scheme,
+                               {u.MakeSet({"A", "B"}), u.MakeSet({"A", "C"})}));
+  // Parts that do not cover the scheme: not lossless by definition.
+  EXPECT_FALSE(HasLosslessJoin(t, scheme, {u.MakeSet({"A", "B"})}));
+  // The trivial decomposition is lossless.
+  EXPECT_TRUE(HasLosslessJoin(t, scheme, {scheme}));
+}
+
+TEST(DependencyPreservationTest, Classic) {
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A -> B").ok());
+  ASSERT_TRUE(t.AddParsed("B -> C").ok());
+  // {AB, BC} preserves both FDs.
+  EXPECT_TRUE(
+      PreservesDependencies(t, {u.MakeSet({"A", "B"}), u.MakeSet({"B", "C"})}));
+  // {AB, AC} loses B -> C... does it? B -> C via projections: pi_AB gives
+  // A -> B, pi_AC gives A -> C; B -> C is not recoverable.
+  EXPECT_FALSE(
+      PreservesDependencies(t, {u.MakeSet({"A", "B"}), u.MakeSet({"A", "C"})}));
+}
+
+TEST(DependencyPreservationTest, TransportThroughParts) {
+  // The subtle case where preservation holds although no single part
+  // contains the FD: A -> B with parts {AC}{CB} does NOT preserve, but
+  // the textbook example A <-> C spread across parts does.
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A -> C").ok());
+  ASSERT_TRUE(t.AddParsed("C -> A").ok());
+  ASSERT_TRUE(t.AddParsed("A -> B").ok());
+  // Parts {AC} and {CB}: A -> B transports via A -> C (in AC), then the
+  // projection of C -> B onto CB (implied: C -> A -> B).
+  EXPECT_TRUE(
+      PreservesDependencies(t, {u.MakeSet({"A", "C"}), u.MakeSet({"C", "B"})}));
+}
+
+TEST(Synthesize3nfTest, ClassicExample) {
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A -> B").ok());
+  ASSERT_TRUE(t.AddParsed("B -> C").ok());
+  AttrSet scheme = u.MakeSet({"A", "B", "C"});
+  auto parts = Synthesize3nf(t, scheme);
+  EXPECT_TRUE(HasLosslessJoin(t, scheme, parts));
+  EXPECT_TRUE(PreservesDependencies(t, parts));
+  // Schemes: AB and BC; A is a key and AB contains it.
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST(Synthesize3nfTest, AddsKeySchemeWhenNeeded) {
+  // A -> B over ABC: groups give AB only; key AC must be added.
+  Universe u;
+  FdTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A -> B").ok());
+  AttrSet scheme = u.MakeSet({"A", "B", "C"});
+  auto parts = Synthesize3nf(t, scheme);
+  EXPECT_TRUE(HasLosslessJoin(t, scheme, parts));
+  EXPECT_TRUE(PreservesDependencies(t, parts));
+  bool has_key_scheme = false;
+  for (const AttrSet& p : parts) {
+    if (u.MakeSet({"A", "C"}).IsSubsetOf(p)) has_key_scheme = true;
+  }
+  EXPECT_TRUE(has_key_scheme);
+}
+
+class DecomposePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposePropertyTest, BcnfDecompositionsAreBcnfAndLossless) {
+  Rng rng(8800 + GetParam());
+  const int n = 5;
+  for (int trial = 0; trial < 10; ++trial) {
+    Universe u;
+    for (int i = 0; i < n; ++i) u.Intern(std::string(1, 'A' + i));
+    FdTheory t(&u);
+    for (int f = 0; f < 3; ++f) {
+      AttrSet lhs(n), rhs(n);
+      lhs.Set(rng.Below(n));
+      if (rng.Chance(1, 2)) lhs.Set(rng.Below(n));
+      rhs.Set(rng.Below(n));
+      t.Add(Fd{lhs, rhs});
+    }
+    AttrSet scheme(n);
+    scheme.SetAll();
+    auto parts = DecomposeBcnf(t, scheme);
+    ASSERT_FALSE(parts.empty());
+    AttrSet covered(n);
+    for (const AttrSet& p : parts) {
+      EXPECT_TRUE(IsBcnf(t, p)) << u.SetToString(p);
+      covered.UnionWith(p);
+    }
+    EXPECT_EQ(covered, scheme);  // attribute preservation
+    EXPECT_TRUE(HasLosslessJoin(t, scheme, parts));
+  }
+}
+
+TEST_P(DecomposePropertyTest, ThreeNfSynthesisLosslessAndPreserving) {
+  Rng rng(9900 + GetParam());
+  const int n = 5;
+  for (int trial = 0; trial < 10; ++trial) {
+    Universe u;
+    for (int i = 0; i < n; ++i) u.Intern(std::string(1, 'A' + i));
+    FdTheory t(&u);
+    for (int f = 0; f < 3; ++f) {
+      AttrSet lhs(n), rhs(n);
+      lhs.Set(rng.Below(n));
+      if (rng.Chance(1, 2)) lhs.Set(rng.Below(n));
+      rhs.Set(rng.Below(n));
+      t.Add(Fd{lhs, rhs});
+    }
+    AttrSet scheme(n);
+    scheme.SetAll();
+    auto parts = Synthesize3nf(t, scheme);
+    ASSERT_FALSE(parts.empty());
+    EXPECT_TRUE(PreservesDependencies(t, parts));
+    EXPECT_TRUE(HasLosslessJoin(t, scheme, parts));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposePropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,75 @@
+// Tests for the DOT exporters: node/edge counts match the Hasse diagram
+// and the proof DAG, labels are escaped, output parses as balanced DOT.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dot_export.h"
+#include "core/proof.h"
+
+namespace psem {
+namespace {
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(LatticeDotTest, ChainHasseDiagram) {
+  FiniteLattice c = FiniteLattice::Chain(4);
+  std::string dot = ExportLatticeDot(c, "chain");
+  EXPECT_NE(dot.find("digraph chain"), std::string::npos);
+  // 4 nodes, 3 cover edges.
+  EXPECT_EQ(CountOccurrences(dot, "[label="), 4u);
+  EXPECT_EQ(CountOccurrences(dot, " -> "), 3u);
+  EXPECT_EQ(CountOccurrences(dot, "{"), 1u);
+  EXPECT_EQ(CountOccurrences(dot, "}"), 1u);
+}
+
+TEST(LatticeDotTest, BooleanCoverEdges) {
+  FiniteLattice b3 = FiniteLattice::Boolean(3);
+  std::string dot = ExportLatticeDot(b3);
+  // Hypercube: 8 nodes, 12 cover edges.
+  EXPECT_EQ(CountOccurrences(dot, "[label="), 8u);
+  EXPECT_EQ(CountOccurrences(dot, " -> "), 12u);
+}
+
+TEST(LatticeDotTest, NamesAreEscaped) {
+  std::vector<std::vector<LatticeElem>> meet = {{0, 0}, {0, 1}};
+  std::vector<std::vector<LatticeElem>> join = {{0, 1}, {1, 1}};
+  FiniteLattice l(meet, join, {"say \"hi\"", "top\\elem"});
+  std::string dot = ExportLatticeDot(l);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(dot.find("top\\\\elem"), std::string::npos);
+}
+
+TEST(ProofDotTest, StepsAndPremiseEdges) {
+  ExprArena arena;
+  std::vector<Pd> e = {*arena.ParsePd("A <= B"), *arena.ParsePd("B <= C")};
+  ProvenanceEngine prover(&arena, e);
+  Proof proof = *prover.ProveLeq(*arena.Parse("A"), *arena.Parse("C"));
+  std::string dot = ExportProofDot(arena, proof);
+  EXPECT_NE(dot.find("digraph proof"), std::string::npos);
+  // One node per step.
+  EXPECT_EQ(CountOccurrences(dot, "[label="), proof.steps.size());
+  // Edge count equals the number of premise references.
+  std::size_t premise_refs = 0;
+  for (const ProofStep& s : proof.steps) {
+    premise_refs += (s.premise1 != ProofStep::kNoPremise);
+    premise_refs += (s.premise2 != ProofStep::kNoPremise);
+  }
+  EXPECT_EQ(CountOccurrences(dot, " -> "), premise_refs);
+  // The goal node is highlighted.
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  // The goal's arc appears in a label.
+  EXPECT_NE(dot.find("A <= C"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,170 @@
+#include <functional>
+// Paper-fidelity tests: the remaining textual claims of Sections 3-4 that
+// are not covered by a dedicated module test — Theorem 2's
+// characterization of FPD satisfaction, the L(I(R(I))) = L(I) remark
+// under EAP, and the Theorem 1 factorization of Definition 7 through
+// L(I(r)).
+
+#include <gtest/gtest.h>
+
+#include "lattice/expr.h"
+#include "lattice/whitman.h"
+#include "partition/canonical.h"
+#include "partition/partition_lattice.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+Partition RandomPartition(Rng* rng, const std::vector<Elem>& population,
+                          uint32_t max_blocks) {
+  std::vector<uint32_t> labels(population.size());
+  for (auto& l : labels) l = static_cast<uint32_t>(rng->Below(max_blocks));
+  return Partition::FromLabels(population, labels);
+}
+
+// Direct transcription of Theorem 2's two conditions.
+bool Theorem2Conditions(const Partition& x, const Partition& y) {
+  // 2. p subset p'.
+  for (Elem e : x.population()) {
+    if (!y.BlockOf(e).has_value()) return false;
+  }
+  // 1. every block of x inside some block of y.
+  for (const auto& block : x.Blocks()) {
+    auto label = y.BlockOf(block[0]);
+    for (Elem e : block) {
+      if (y.BlockOf(e) != label) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Theorem2Test, FpdSatisfactionEqualsBlockAndPopulationContainment) {
+  Rng rng(12100);
+  ExprArena arena;
+  Pd fpd = *arena.ParsePd("X = X*Y");
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random, possibly different populations.
+    auto random_pop = [&]() {
+      std::vector<Elem> pop;
+      for (Elem e = 0; e < 7; ++e) {
+        if (rng.Chance(2, 3)) pop.push_back(e);
+      }
+      if (pop.empty()) pop.push_back(0);
+      return pop;
+    };
+    Partition px = RandomPartition(&rng, random_pop(), 3);
+    Partition py = RandomPartition(&rng, random_pop(), 3);
+    PartitionInterpretation interp;
+    std::unordered_map<std::string, uint32_t> naming_x, naming_y;
+    for (uint32_t b = 0; b < px.num_blocks(); ++b) {
+      naming_x["x" + std::to_string(b)] = b;
+    }
+    for (uint32_t b = 0; b < py.num_blocks(); ++b) {
+      naming_y["y" + std::to_string(b)] = b;
+    }
+    ASSERT_TRUE(interp.DefineAttribute("X", px, naming_x).ok());
+    ASSERT_TRUE(interp.DefineAttribute("Y", py, naming_y).ok());
+    EXPECT_EQ(*interp.Satisfies(arena, fpd), Theorem2Conditions(px, py));
+    // And the dual spelling agrees (Section 3.2).
+    Pd dual = *arena.ParsePd("Y = Y+X");
+    EXPECT_EQ(*interp.Satisfies(arena, dual), Theorem2Conditions(px, py));
+  }
+}
+
+TEST(Section41Test, LatticeOfRoundTripEqualsOriginalUnderEap) {
+  // "if EAP holds in I then L(I(R(I))) = L(I)" — as lattices with the
+  // same attribute constants.
+  Rng rng(12200);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Elem> pop = {0, 1, 2, 3, 4};
+    PartitionInterpretation interp;
+    const char* names[] = {"A", "B", "C"};
+    for (const char* name : names) {
+      Partition p = RandomPartition(&rng, pop, 3);
+      std::unordered_map<std::string, uint32_t> naming;
+      for (uint32_t b = 0; b < p.num_blocks(); ++b) {
+        naming[std::string(name) + std::to_string(b)] = b;
+      }
+      ASSERT_TRUE(interp.DefineAttribute(name, p, naming).ok());
+    }
+    ASSERT_TRUE(interp.SatisfiesEap());
+
+    Database db;
+    Relation r = *CanonicalRelation(interp, &db, "w");
+    PartitionInterpretation round = *CanonicalInterpretation(db, r);
+
+    PartitionClosure l1 = *InterpretationLattice(interp);
+    PartitionClosure l2 = *InterpretationLattice(round);
+    EXPECT_TRUE(l1.lattice.IsomorphicTo(l2.lattice));
+    // Stronger: they satisfy the same PDs over A, B, C.
+    ExprArena arena;
+    for (const char* pd_text :
+         {"A <= B", "B <= C", "A = B*C", "A = B+C", "C <= A+B",
+          "A*(B+C) = A*B+A*C"}) {
+      Pd pd = *arena.ParsePd(pd_text);
+      EXPECT_EQ(*interp.Satisfies(arena, pd), *round.Satisfies(arena, pd))
+          << pd_text << " (trial " << trial << ")";
+    }
+  }
+}
+
+TEST(Theorem1Test, RelationSatisfactionFactorsThroughLatticeOfCanonical) {
+  // r |= pd (Definition 7) iff L(I(r)) |= pd with attribute constants —
+  // the Theorem 1 equivalence driving Lemma 8.1.
+  Rng rng(12300);
+  ExprArena arena;
+  std::vector<Pd> pds = {
+      *arena.ParsePd("A <= B"),      *arena.ParsePd("C = A*B"),
+      *arena.ParsePd("C = A+B"),     *arena.ParsePd("C <= A+B"),
+      *arena.ParsePd("A+B = A+C"),   *arena.ParsePd("B*(A+C) = B*A+B*C"),
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db;
+    std::size_t ri = db.AddRelation("R", {"A", "B", "C"});
+    Relation& r = db.relation(ri);
+    int rows = 1 + static_cast<int>(rng.Below(6));
+    for (int i = 0; i < rows; ++i) {
+      r.AddRow(&db.symbols(), {"a" + std::to_string(rng.Below(3)),
+                               "b" + std::to_string(rng.Below(3)),
+                               "c" + std::to_string(rng.Below(3))});
+    }
+    PartitionInterpretation interp = *CanonicalInterpretation(db, r);
+    PartitionClosure closure = *InterpretationLattice(interp);
+    auto asg = closure.AssignmentFor(arena);
+    for (const Pd& pd : pds) {
+      bool by_def7 = *RelationSatisfiesPd(db, r, arena, pd);
+      bool by_lattice = *closure.lattice.Satisfies(arena, pd, asg);
+      EXPECT_EQ(by_def7, by_lattice) << arena.ToString(pd);
+    }
+  }
+}
+
+TEST(WhitmanIterativeSpaceTest, PeakStackBoundedByTreeDepthSum) {
+  // The storage-free decider's auxiliary space is one frame per live
+  // recursion level; the recursion decreases |p| + |q| strictly, so the
+  // peak depth is at most TreeSize(p) + TreeSize(q).
+  ExprArena arena;
+  Rng rng(12400);
+  std::function<ExprId(int)> random_expr = [&](int ops) -> ExprId {
+    if (ops == 0) {
+      return arena.Attr(std::string(1, static_cast<char>('A' + rng.Below(3))));
+    }
+    int left = static_cast<int>(rng.Below(static_cast<uint64_t>(ops)));
+    ExprId l = random_expr(left);
+    ExprId r = random_expr(ops - 1 - left);
+    return rng.Chance(1, 2) ? arena.Product(l, r) : arena.Sum(l, r);
+  };
+  WhitmanIterative iter(&arena);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprId p = random_expr(1 + trial % 7);
+    ExprId q = random_expr(1 + (trial + 3) % 7);
+    WhitmanIterativeStats stats;
+    iter.Leq(p, q, &stats);
+    EXPECT_LE(stats.peak_stack_depth,
+              static_cast<std::size_t>(arena.TreeSize(p) + arena.TreeSize(q)));
+  }
+}
+
+}  // namespace
+}  // namespace psem

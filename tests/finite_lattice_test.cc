@@ -1,0 +1,174 @@
+// Tests for explicit finite lattices: axiom validation, order queries,
+// distributivity/modularity, covers, generated sublattices, isomorphism,
+// and expression evaluation ("lattices with constants", Section 2.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lattice/expr.h"
+#include "lattice/finite_lattice.h"
+
+namespace psem {
+namespace {
+
+TEST(FiniteLatticeTest, StandardLatticesSatisfyAxioms) {
+  EXPECT_TRUE(FiniteLattice::Chain(1).ValidateAxioms().ok());
+  EXPECT_TRUE(FiniteLattice::Chain(5).ValidateAxioms().ok());
+  EXPECT_TRUE(FiniteLattice::Boolean(0).ValidateAxioms().ok());
+  EXPECT_TRUE(FiniteLattice::Boolean(3).ValidateAxioms().ok());
+  EXPECT_TRUE(FiniteLattice::DiamondM3().ValidateAxioms().ok());
+  EXPECT_TRUE(FiniteLattice::PentagonN5().ValidateAxioms().ok());
+  EXPECT_TRUE(FiniteLattice::Divisors(60).ValidateAxioms().ok());
+}
+
+TEST(FiniteLatticeTest, BrokenTableIsRejected) {
+  // A two-element "lattice" with a non-idempotent meet.
+  std::vector<std::vector<LatticeElem>> meet = {{1, 0}, {0, 1}};
+  std::vector<std::vector<LatticeElem>> join = {{0, 1}, {1, 1}};
+  FiniteLattice bad(meet, join);
+  Status st = bad.ValidateAxioms();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FiniteLatticeTest, OutOfRangeEntryIsRejected) {
+  std::vector<std::vector<LatticeElem>> meet = {{0, 9}, {9, 1}};
+  std::vector<std::vector<LatticeElem>> join = {{0, 1}, {1, 1}};
+  EXPECT_EQ(FiniteLattice(meet, join).ValidateAxioms().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FiniteLatticeTest, OrderAndBounds) {
+  FiniteLattice b3 = FiniteLattice::Boolean(3);
+  EXPECT_EQ(b3.Bottom(), 0u);
+  EXPECT_EQ(b3.Top(), 7u);
+  EXPECT_TRUE(b3.Leq(0b001, 0b011));
+  EXPECT_FALSE(b3.Leq(0b011, 0b001));
+  EXPECT_FALSE(b3.Leq(0b001, 0b010));
+  EXPECT_TRUE(b3.Leq(0, 7));
+}
+
+TEST(FiniteLatticeTest, DistributivityClassification) {
+  EXPECT_TRUE(FiniteLattice::Chain(4).IsDistributive());
+  EXPECT_TRUE(FiniteLattice::Boolean(3).IsDistributive());
+  EXPECT_TRUE(FiniteLattice::Divisors(30).IsDistributive());
+  EXPECT_FALSE(FiniteLattice::DiamondM3().IsDistributive());
+  EXPECT_FALSE(FiniteLattice::PentagonN5().IsDistributive());
+}
+
+TEST(FiniteLatticeTest, ModularityClassification) {
+  // M3 is modular but not distributive; N5 is the canonical non-modular
+  // lattice; distributive implies modular.
+  EXPECT_TRUE(FiniteLattice::DiamondM3().IsModular());
+  EXPECT_FALSE(FiniteLattice::PentagonN5().IsModular());
+  EXPECT_TRUE(FiniteLattice::Boolean(3).IsModular());
+  EXPECT_TRUE(FiniteLattice::Chain(5).IsModular());
+}
+
+TEST(FiniteLatticeTest, CoversOfBooleanBottom) {
+  FiniteLattice b3 = FiniteLattice::Boolean(3);
+  auto covers = b3.CoversOf(0);
+  std::sort(covers.begin(), covers.end());
+  EXPECT_EQ(covers, (std::vector<LatticeElem>{1, 2, 4}));
+  EXPECT_TRUE(b3.CoversOf(7).empty());
+}
+
+TEST(FiniteLatticeTest, ChainCovers) {
+  FiniteLattice c = FiniteLattice::Chain(4);
+  for (LatticeElem i = 0; i + 1 < 4; ++i) {
+    EXPECT_EQ(c.CoversOf(i), std::vector<LatticeElem>{i + 1});
+  }
+}
+
+TEST(FiniteLatticeTest, GeneratedSublatticeAndRestrict) {
+  FiniteLattice b3 = FiniteLattice::Boolean(3);
+  // {001, 110} generates {001, 110, 000, 111}.
+  auto sub = b3.GeneratedSublattice({1, 6});
+  std::sort(sub.begin(), sub.end());
+  EXPECT_EQ(sub, (std::vector<LatticeElem>{0, 1, 6, 7}));
+  FiniteLattice r = b3.Restrict(sub);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_TRUE(r.ValidateAxioms().ok());
+  EXPECT_TRUE(r.IsDistributive());
+  // It is the 2x2 Boolean lattice.
+  EXPECT_TRUE(r.IsomorphicTo(FiniteLattice::Boolean(2)));
+}
+
+TEST(FiniteLatticeIsoTest, IsomorphicToSelfAndRelabelings) {
+  FiniteLattice m3 = FiniteLattice::DiamondM3();
+  EXPECT_TRUE(m3.IsomorphicTo(m3));
+  FiniteLattice n5 = FiniteLattice::PentagonN5();
+  EXPECT_TRUE(n5.IsomorphicTo(n5));
+  EXPECT_FALSE(m3.IsomorphicTo(n5));
+  EXPECT_FALSE(n5.IsomorphicTo(m3));
+}
+
+TEST(FiniteLatticeIsoTest, SizeMismatch) {
+  EXPECT_FALSE(FiniteLattice::Chain(3).IsomorphicTo(FiniteLattice::Chain(4)));
+}
+
+TEST(FiniteLatticeIsoTest, ChainsOfEqualLengthAreIsomorphic) {
+  EXPECT_TRUE(FiniteLattice::Chain(5).IsomorphicTo(FiniteLattice::Chain(5)));
+  // Divisors of p^4 form a 5-chain.
+  EXPECT_TRUE(FiniteLattice::Divisors(16).IsomorphicTo(FiniteLattice::Chain(5)));
+}
+
+TEST(FiniteLatticeIsoTest, BooleanVsChainSameSize) {
+  // 4-element Boolean lattice vs 4-chain: same size, different shape.
+  EXPECT_FALSE(FiniteLattice::Boolean(2).IsomorphicTo(FiniteLattice::Chain(4)));
+}
+
+TEST(FiniteLatticeIsoTest, DivisorsOfSquarefreeIsBoolean) {
+  // Divisors(30) = divisors of 2*3*5 ~ Boolean(3).
+  EXPECT_TRUE(FiniteLattice::Divisors(30).IsomorphicTo(FiniteLattice::Boolean(3)));
+  EXPECT_FALSE(FiniteLattice::Divisors(12).IsomorphicTo(FiniteLattice::Boolean(3)));
+}
+
+TEST(FiniteLatticeEvalTest, EvaluatesWithConstants) {
+  FiniteLattice b3 = FiniteLattice::Boolean(3);
+  ExprArena arena;
+  ExprId e = *arena.Parse("A*B + C");
+  std::vector<LatticeElem> asg(arena.num_attrs());
+  asg[*arena.attr_names().Lookup("A")] = 0b011;
+  asg[*arena.attr_names().Lookup("B")] = 0b110;
+  asg[*arena.attr_names().Lookup("C")] = 0b100;
+  EXPECT_EQ(*b3.Eval(arena, e, asg), 0b110u);
+}
+
+TEST(FiniteLatticeEvalTest, UnassignedAttributeIsError) {
+  FiniteLattice c = FiniteLattice::Chain(3);
+  ExprArena arena;
+  ExprId e = *arena.Parse("A*B");
+  std::vector<LatticeElem> asg(arena.num_attrs(), FiniteLattice::kNoElem);
+  asg[*arena.attr_names().Lookup("A")] = 1;
+  auto r = c.Eval(arena, e, asg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FiniteLatticeEvalTest, SatisfiesPd) {
+  FiniteLattice c = FiniteLattice::Chain(3);
+  ExprArena arena;
+  std::vector<LatticeElem> asg(2);
+  Pd pd = *arena.ParsePd("A <= B");
+  asg[*arena.attr_names().Lookup("A")] = 0;
+  asg[*arena.attr_names().Lookup("B")] = 2;
+  EXPECT_TRUE(*c.Satisfies(arena, pd, asg));
+  asg[*arena.attr_names().Lookup("A")] = 2;
+  asg[*arena.attr_names().Lookup("B")] = 0;
+  EXPECT_FALSE(*c.Satisfies(arena, pd, asg));
+}
+
+TEST(FiniteLatticeTest, DivisorsNames) {
+  FiniteLattice d = FiniteLattice::Divisors(12);
+  // Divisors: 1 2 3 4 6 12.
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.NameOf(0), "1");
+  EXPECT_EQ(d.NameOf(5), "12");
+  EXPECT_EQ(d.Bottom(), 0u);
+  EXPECT_EQ(d.Top(), 5u);
+}
+
+}  // namespace
+}  // namespace psem

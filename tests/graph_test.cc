@@ -1,0 +1,129 @@
+// Tests for the graph substrate and Example e / Theorem 4: connectivity
+// via partition sums equals union-find / BFS components, and C = A + B
+// holds exactly for correctly-labeled component relations.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "lattice/expr.h"
+#include "partition/canonical.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+TEST(GraphTest, ComponentsUnionFindMatchesBfs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = Graph::Random(30, 25, seed);
+    EXPECT_TRUE(SameComponents(g.ComponentsUnionFind(), g.ComponentsBfs()));
+  }
+}
+
+TEST(GraphTest, KnownComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(4, 5);
+  auto comp = g.ComponentsUnionFind();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(GraphTest, SameComponentsDetectsMismatch) {
+  EXPECT_TRUE(SameComponents({0, 0, 1}, {5, 5, 9}));
+  EXPECT_FALSE(SameComponents({0, 0, 1}, {5, 6, 9}));
+  EXPECT_FALSE(SameComponents({0, 1}, {0, 0}));
+  EXPECT_FALSE(SameComponents({0}, {0, 0}));
+}
+
+TEST(ExampleETest, EncodingSatisfiesSumPd) {
+  Database db;
+  Graph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  std::size_t ri = EncodeGraphRelation(g, &db);
+  ExprArena arena;
+  EXPECT_TRUE(*RelationSatisfiesPd(db, db.relation(ri), arena,
+                                   *arena.ParsePd("C = A+B")));
+  // The encoding also satisfies A*B <= C trivially and C <= A+B.
+  EXPECT_TRUE(*RelationSatisfiesPd(db, db.relation(ri), arena,
+                                   *arena.ParsePd("C <= A+B")));
+}
+
+TEST(ExampleETest, MislabelingBreaksThePd) {
+  Database db;
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  std::size_t ri = EncodeGraphRelation(g, &db);
+  ExprArena arena;
+  ASSERT_TRUE(*RelationSatisfiesPd(db, db.relation(ri), arena,
+                                   *arena.ParsePd("C = A+B")));
+  // Merge the two components' labels by adding a tuple that reuses the
+  // first component's label for vertex 2's self-loop row.
+  db.relation(ri).AddRow(&db.symbols(), {"v2", "v2", "comp0"});
+  EXPECT_FALSE(*RelationSatisfiesPd(db, db.relation(ri), arena,
+                                    *arena.ParsePd("C = A+B")));
+}
+
+TEST(ExampleETest, PdSemanticsRecoverComponents) {
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    Database db;
+    Graph g = Graph::Random(20, 14, seed);
+    std::size_t ri = EncodeGraphRelation(g, &db);
+    auto pd_comp = *ComponentsViaPdSemantics(db, ri, g.num_vertices());
+    auto uf_comp = g.ComponentsUnionFind();
+    EXPECT_TRUE(SameComponents(pd_comp, uf_comp)) << "seed " << seed;
+  }
+}
+
+TEST(ExampleETest, IsolatedVerticesGetOwnComponents) {
+  Database db;
+  Graph g(3);  // no edges at all
+  std::size_t ri = EncodeGraphRelation(g, &db);
+  EXPECT_EQ(db.relation(ri).size(), 3u);  // one self-tuple per vertex
+  auto pd_comp = *ComponentsViaPdSemantics(db, ri, 3);
+  EXPECT_NE(pd_comp[0], pd_comp[1]);
+  EXPECT_NE(pd_comp[1], pd_comp[2]);
+}
+
+TEST(ExampleETest, EncodingTupleShape) {
+  // Per Example e, edge {a, b} contributes abc, bac, aac, bbc.
+  Database db;
+  Graph g(2);
+  g.AddEdge(0, 1);
+  std::size_t ri = EncodeGraphRelation(g, &db);
+  const Relation& r = db.relation(ri);
+  EXPECT_EQ(r.size(), 4u);
+  auto has = [&](const char* a, const char* b) {
+    Tuple t{db.symbols().Intern(a), db.symbols().Intern(b),
+            db.symbols().Intern("comp0")};
+    return r.Contains(t);
+  };
+  EXPECT_TRUE(has("v0", "v1"));
+  EXPECT_TRUE(has("v1", "v0"));
+  EXPECT_TRUE(has("v0", "v0"));
+  EXPECT_TRUE(has("v1", "v1"));
+}
+
+TEST(GraphTest, RandomGraphIsSimple) {
+  Graph g = Graph::Random(10, 20, 3);
+  EXPECT_EQ(g.edges().size(), 20u);
+  for (auto [u, v] : g.edges()) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 10u);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(GraphTest, RandomGraphCapsAtMaxEdges) {
+  Graph g = Graph::Random(4, 100, 3);
+  EXPECT_EQ(g.edges().size(), 6u);  // C(4,2)
+}
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,368 @@
+// Tests for PD implication (Algorithm ALG, Section 5.2, Theorems 8-9).
+// The engine is validated four independent ways:
+//   1. hand-checked inferences from the paper's examples;
+//   2. differential testing against the literal rule-by-rule NaivePdImplication;
+//   3. soundness against explicit finite-lattice models (if ALG says
+//      E |= delta, then every sampled lattice satisfying E satisfies delta);
+//   4. agreement with the FD closure algorithm on FPD encodings (the
+//      Section 5.3 reduction in both directions) and with the Whitman
+//      deciders when E is empty (Lemma 8.2).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fd_theory.h"
+#include "core/fpd.h"
+#include "core/implication.h"
+#include "lattice/expr.h"
+#include "lattice/finite_lattice.h"
+#include "lattice/whitman.h"
+#include "partition/partition_lattice.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+// Convenience: build a theory from PD strings and query one.
+bool Implies(const std::vector<std::string>& e, const std::string& query) {
+  ExprArena arena;
+  std::vector<Pd> pds;
+  for (const auto& s : e) pds.push_back(*arena.ParsePd(s));
+  PdImplicationEngine engine(&arena, pds);
+  return engine.Implies(*arena.ParsePd(query));
+}
+
+TEST(PdImplicationTest, FpdTransitivity) {
+  // A <= B, B <= C |= A <= C — the FD chain A->B, B->C |= A->C.
+  EXPECT_TRUE(Implies({"A = A*B", "B = B*C"}, "A = A*C"));
+  EXPECT_TRUE(Implies({"A <= B", "B <= C"}, "A <= C"));
+  EXPECT_FALSE(Implies({"A <= B", "B <= C"}, "C <= A"));
+}
+
+TEST(PdImplicationTest, ThreeSpellingsOfAnFpdAreInterchangeable) {
+  // X = X*Y, Y = Y+X and X <= Y are equivalent (Section 3.2).
+  for (const char* premise : {"A = A*B", "B = B+A", "A <= B"}) {
+    for (const char* conclusion : {"A = A*B", "B = B+A", "A <= B"}) {
+      EXPECT_TRUE(Implies({premise}, conclusion))
+          << premise << " |= " << conclusion;
+    }
+  }
+}
+
+TEST(PdImplicationTest, ExampleF) {
+  // X = Y*Z is equivalent to { X <= Y*Z, Y*Z <= X }.
+  EXPECT_TRUE(Implies({"X = Y*Z"}, "X <= Y*Z"));
+  EXPECT_TRUE(Implies({"X = Y*Z"}, "Y*Z <= X"));
+  EXPECT_TRUE(Implies({"X <= Y*Z", "Y*Z <= X"}, "X = Y*Z"));
+  // And X = Y*Z gives the FDs X -> Y, X -> Z, YZ -> X.
+  EXPECT_TRUE(Implies({"X = Y*Z"}, "X <= Y"));
+  EXPECT_TRUE(Implies({"X = Y*Z"}, "X <= Z"));
+  EXPECT_FALSE(Implies({"X = Y*Z"}, "Y <= X"));
+}
+
+TEST(PdImplicationTest, SumDecomposition) {
+  // Section 4.2: A+B <= C is equivalent to A <= C and B <= C.
+  EXPECT_TRUE(Implies({"A+B <= C"}, "A <= C"));
+  EXPECT_TRUE(Implies({"A+B <= C"}, "B <= C"));
+  EXPECT_TRUE(Implies({"A <= C", "B <= C"}, "A+B <= C"));
+}
+
+TEST(PdImplicationTest, ConnectivityPdConsequences) {
+  // C = A+B: both A and B determine C (cf. Example e).
+  EXPECT_TRUE(Implies({"C = A+B"}, "A <= C"));
+  EXPECT_TRUE(Implies({"C = A+B"}, "B <= C"));
+  EXPECT_TRUE(Implies({"C = A+B"}, "C <= A+B"));
+  EXPECT_FALSE(Implies({"C = A+B"}, "C <= A"));
+  EXPECT_FALSE(Implies({"C <= A+B"}, "C = A+B"));
+}
+
+TEST(PdImplicationTest, IdentitiesImpliedByEmptyTheory) {
+  EXPECT_TRUE(Implies({}, "A*B = B*A"));
+  EXPECT_TRUE(Implies({}, "A+(B+C) = (A+B)+C"));
+  EXPECT_TRUE(Implies({}, "A*(A+B) = A"));
+  EXPECT_TRUE(Implies({}, "A*B + A*C <= A*(B+C)"));
+  EXPECT_FALSE(Implies({}, "A*(B+C) <= A*B + A*C"));
+  EXPECT_FALSE(Implies({}, "A = B"));
+}
+
+TEST(PdImplicationTest, CongruenceUnderOperators) {
+  // From A = B infer A*C = B*C and A+C = B+C.
+  EXPECT_TRUE(Implies({"A = B"}, "A*C = B*C"));
+  EXPECT_TRUE(Implies({"A = B"}, "A+C = B+C"));
+  EXPECT_TRUE(Implies({"A = B", "C = D"}, "A*C = B*D"));
+}
+
+TEST(PdImplicationTest, SubstitutionThroughNestedExpressions) {
+  EXPECT_TRUE(Implies({"A = B*C"}, "A+D = B*C+D"));
+  EXPECT_TRUE(Implies({"A = B*C", "D = A+E"}, "D = B*C+E"));
+}
+
+TEST(PdImplicationTest, AugmentationLikeFds) {
+  // FD augmentation: A -> B gives AC -> BC.
+  EXPECT_TRUE(Implies({"A <= B"}, "A*C <= B*C"));
+  // Union rule: A -> B and A -> C give A -> BC.
+  EXPECT_TRUE(Implies({"A <= B", "A <= C"}, "A <= B*C"));
+  // Decomposition: A -> BC gives A -> B.
+  EXPECT_TRUE(Implies({"A <= B*C"}, "A <= B"));
+}
+
+TEST(PdImplicationTest, PseudoTransitivityMixedOperators) {
+  EXPECT_TRUE(Implies({"A <= B+C", "B <= D", "C <= D"}, "A <= D"));
+  EXPECT_FALSE(Implies({"A <= B+C", "B <= D"}, "A <= D"));
+}
+
+TEST(PdImplicationTest, EngineStatsArePopulated) {
+  ExprArena arena;
+  std::vector<Pd> pds = {*arena.ParsePd("A = A*B"), *arena.ParsePd("B = B*C")};
+  PdImplicationEngine engine(&arena, pds);
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A <= C")));
+  EXPECT_GT(engine.stats().num_vertices, 0u);
+  EXPECT_GT(engine.stats().num_arcs, 0u);
+  EXPECT_GT(engine.stats().passes, 0u);
+}
+
+TEST(PdImplicationTest, IncrementalQueriesExtendV) {
+  ExprArena arena;
+  PdImplicationEngine engine(&arena, {*arena.ParsePd("A <= B")});
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A <= B")));
+  std::size_t n1 = engine.stats().num_vertices;
+  // A query with fresh subexpressions grows V and stays correct.
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A*C <= B+D")));
+  EXPECT_GT(engine.stats().num_vertices, n1);
+  EXPECT_FALSE(engine.Implies(*arena.ParsePd("B <= A")));
+}
+
+// --- random generators --------------------------------------------------------
+
+ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops) {
+  if (ops == 0) {
+    return arena->Attr(
+        std::string(1, static_cast<char>('A' + rng->Below(num_attrs))));
+  }
+  int left = static_cast<int>(rng->Below(static_cast<uint64_t>(ops)));
+  ExprId l = RandomExpr(arena, rng, num_attrs, left);
+  ExprId r = RandomExpr(arena, rng, num_attrs, ops - 1 - left);
+  return rng->Chance(1, 2) ? arena->Product(l, r) : arena->Sum(l, r);
+}
+
+std::vector<Pd> RandomTheory(ExprArena* arena, Rng* rng, int num_attrs,
+                             int num_pds, int max_ops) {
+  std::vector<Pd> pds;
+  for (int i = 0; i < num_pds; ++i) {
+    ExprId l = RandomExpr(arena, rng, num_attrs,
+                          static_cast<int>(rng->Below(max_ops + 1)));
+    ExprId r = RandomExpr(arena, rng, num_attrs,
+                          static_cast<int>(rng->Below(max_ops + 1)));
+    pds.push_back(rng->Chance(1, 2) ? Pd::Eq(l, r) : Pd::Leq(l, r));
+  }
+  return pds;
+}
+
+// --- differential: engine vs naive rule application ---------------------------
+
+class AlgDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgDifferentialTest, EngineMatchesNaive) {
+  Rng rng(5000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    ExprArena arena;
+    std::vector<Pd> e = RandomTheory(&arena, &rng, 3, 2, 2);
+    PdImplicationEngine engine(&arena, e);
+    int true_count = 0;
+    for (int q = 0; q < 6; ++q) {
+      ExprId l = RandomExpr(&arena, &rng, 3, 1 + q % 3);
+      ExprId r = RandomExpr(&arena, &rng, 3, 1 + (q + 1) % 3);
+      Pd query = q % 2 == 0 ? Pd::Leq(l, r) : Pd::Eq(l, r);
+      bool fast = engine.Implies(query);
+      bool slow = NaivePdImplication(arena, e, query);
+      ASSERT_EQ(fast, slow)
+          << "E: " << [&] {
+               std::string s;
+               for (const Pd& pd : e) s += arena.ToString(pd) + "; ";
+               return s;
+             }() << " query: " << arena.ToString(query);
+      true_count += fast;
+    }
+    (void)true_count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgDifferentialTest, ::testing::Range(0, 8));
+
+// --- soundness against lattice models ------------------------------------------
+
+class AlgSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgSoundnessTest, ImpliedPdsHoldInEverySatisfyingModel) {
+  Rng rng(6000 + GetParam());
+  std::vector<FiniteLattice> models;
+  models.push_back(FiniteLattice::DiamondM3());
+  models.push_back(FiniteLattice::PentagonN5());
+  models.push_back(FiniteLattice::Boolean(2));
+  models.push_back(FullPartitionLattice(4).lattice);  // Pi_4, 15 elements
+
+  for (int trial = 0; trial < 6; ++trial) {
+    ExprArena arena;
+    std::vector<Pd> e = RandomTheory(&arena, &rng, 3, 2, 2);
+    PdImplicationEngine engine(&arena, e);
+    std::vector<Pd> queries;
+    for (int q = 0; q < 4; ++q) {
+      ExprId l = RandomExpr(&arena, &rng, 3, 1 + q % 3);
+      ExprId r = RandomExpr(&arena, &rng, 3, 1 + (q + 1) % 3);
+      queries.push_back(q % 2 == 0 ? Pd::Leq(l, r) : Pd::Eq(l, r));
+    }
+    std::size_t k = arena.num_attrs();
+    ASSERT_LE(k, 3u);
+    for (const FiniteLattice& l : models) {
+      std::size_t total = 1;
+      for (std::size_t i = 0; i < k; ++i) total *= l.size();
+      for (std::size_t code = 0; code < total; ++code) {
+        std::vector<LatticeElem> asg(k);
+        std::size_t c = code;
+        for (std::size_t i = 0; i < k; ++i) {
+          asg[i] = static_cast<LatticeElem>(c % l.size());
+          c /= l.size();
+        }
+        bool model_ok = true;
+        for (const Pd& pd : e) {
+          if (!*l.Satisfies(arena, pd, asg)) {
+            model_ok = false;
+            break;
+          }
+        }
+        if (!model_ok) continue;
+        // The lattice-with-constants (l, asg) satisfies E: every PD the
+        // engine derives must hold in it (Theorem 8 b).
+        for (const Pd& q : queries) {
+          if (engine.Implies(q)) {
+            ASSERT_TRUE(*l.Satisfies(arena, q, asg))
+                << arena.ToString(q);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgSoundnessTest, ::testing::Range(0, 6));
+
+// For queries the engine REJECTS, a counterexample lattice should usually
+// be found among small partition-lattice models — check a handful of
+// specific rejections.
+TEST(AlgCompletenessSpotTest, RejectedQueriesHaveCounterexamples) {
+  struct Case {
+    std::vector<std::string> e;
+    std::string query;
+  };
+  std::vector<Case> cases = {
+      {{"A <= B"}, "B <= A"},
+      {{"C = A+B"}, "C <= A"},
+      {{}, "A*(B+C) <= A*B + A*C"},
+      {{"A <= B+C"}, "A <= B"},
+  };
+  auto full = FullPartitionLattice(4);
+  const FiniteLattice& l = full.lattice;
+  for (const Case& tc : cases) {
+    ExprArena arena;
+    std::vector<Pd> e;
+    for (const auto& s : tc.e) e.push_back(*arena.ParsePd(s));
+    Pd query = *arena.ParsePd(tc.query);
+    PdImplicationEngine engine(&arena, e);
+    ASSERT_FALSE(engine.Implies(query)) << tc.query;
+    // Search Pi_4 assignments for a countermodel.
+    std::size_t k = arena.num_attrs();
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < k; ++i) total *= l.size();
+    bool found = false;
+    for (std::size_t code = 0; code < total && !found; ++code) {
+      std::vector<LatticeElem> asg(k);
+      std::size_t c = code;
+      for (std::size_t i = 0; i < k; ++i) {
+        asg[i] = static_cast<LatticeElem>(c % l.size());
+        c /= l.size();
+      }
+      bool sat_e = true;
+      for (const Pd& pd : e) sat_e &= *l.Satisfies(arena, pd, asg);
+      if (sat_e && !*l.Satisfies(arena, query, asg)) found = true;
+    }
+    EXPECT_TRUE(found) << "no countermodel in Pi_4 for " << tc.query;
+  }
+}
+
+// --- Section 5.3: FD implication == ALG on FPD encodings -----------------------
+
+class FdVsPdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdVsPdTest, ClosureAgreesWithAlg) {
+  Rng rng(7000 + GetParam());
+  const int num_attrs = 5;
+  for (int trial = 0; trial < 8; ++trial) {
+    Universe u;
+    for (int i = 0; i < num_attrs; ++i) {
+      u.Intern(std::string(1, static_cast<char>('A' + i)));
+    }
+    FdTheory fds(&u);
+    int num_fds = 1 + static_cast<int>(rng.Below(4));
+    for (int i = 0; i < num_fds; ++i) {
+      AttrSet lhs(num_attrs), rhs(num_attrs);
+      do {
+        for (int a = 0; a < num_attrs; ++a) {
+          if (rng.Chance(1, 3)) lhs.Set(a);
+        }
+      } while (!lhs.Any());
+      do {
+        for (int a = 0; a < num_attrs; ++a) {
+          if (rng.Chance(1, 3)) rhs.Set(a);
+        }
+      } while (!rhs.Any());
+      fds.Add(Fd{lhs, rhs});
+    }
+    ExprArena arena;
+    std::vector<Pd> fpds = FdsToFpds(u, &arena, fds.fds());
+    PdImplicationEngine engine(&arena, fpds);
+    // Query random FDs both ways.
+    for (int q = 0; q < 12; ++q) {
+      AttrSet lhs(num_attrs), rhs(num_attrs);
+      do {
+        for (int a = 0; a < num_attrs; ++a) {
+          if (rng.Chance(1, 3)) lhs.Set(a);
+        }
+      } while (!lhs.Any());
+      do {
+        for (int a = 0; a < num_attrs; ++a) {
+          if (rng.Chance(1, 3)) rhs.Set(a);
+        }
+      } while (!rhs.Any());
+      Fd fd{lhs, rhs};
+      Pd fpd = FdToFpd(u, &arena, fd);
+      EXPECT_EQ(fds.Implies(fd), engine.Implies(fpd))
+          << fd.ToString(u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdVsPdTest, ::testing::Range(0, 8));
+
+// --- empty theory == Whitman ----------------------------------------------------
+
+class EmptyTheoryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmptyTheoryTest, AlgWithEmptyEMatchesWhitman) {
+  Rng rng(8000 + GetParam());
+  ExprArena arena;
+  WhitmanMemo whitman(&arena);
+  PdImplicationEngine engine(&arena, {});
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprId l = RandomExpr(&arena, &rng, 3, 1 + trial % 5);
+    ExprId r = RandomExpr(&arena, &rng, 3, 1 + (trial + 1) % 5);
+    EXPECT_EQ(engine.ImpliesLeq(l, r), whitman.Leq(l, r))
+        << arena.ToString(l) << " <= " << arena.ToString(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmptyTheoryTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace psem

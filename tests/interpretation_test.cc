@@ -1,0 +1,236 @@
+// Tests for PartitionInterpretation (Definitions 1-4), including a full
+// executable reproduction of Figure 1: the interpretation over A, B, C
+// with populations {1,2,3,4} that satisfies the database d, the FPD
+// A = A*B, CAD and EAP, and whose lattice L(I) is not distributive.
+
+#include <gtest/gtest.h>
+
+#include "lattice/expr.h"
+#include "partition/interpretation.h"
+#include "partition/partition.h"
+#include "relational/relation.h"
+
+namespace psem {
+namespace {
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Partitions of Figure 1.
+    Partition pa = Partition::FromBlocks({{1}, {4}, {2, 3}});
+    Partition pb = Partition::FromBlocks({{1, 4}, {2, 3}});
+    Partition pc = Partition::FromBlocks({{1, 2}, {3, 4}});
+    // Name blocks via the canonical labels.
+    ASSERT_TRUE(interp_
+                    .DefineAttribute("A", pa,
+                                     {{"a", *pa.BlockOf(1)},
+                                      {"a1", *pa.BlockOf(4)},
+                                      {"a2", *pa.BlockOf(2)}})
+                    .ok());
+    ASSERT_TRUE(interp_
+                    .DefineAttribute("B", pb,
+                                     {{"b", *pb.BlockOf(1)},
+                                      {"b1", *pb.BlockOf(2)}})
+                    .ok());
+    ASSERT_TRUE(interp_
+                    .DefineAttribute("C", pc,
+                                     {{"c", *pc.BlockOf(1)},
+                                      {"c1", *pc.BlockOf(3)}})
+                    .ok());
+    // Database d over R[ABC] from the figure.
+    std::size_t r = db_.AddRelation("R", {"A", "B", "C"});
+    db_.relation(r).AddRow(&db_.symbols(), {"a", "b", "c"});
+    db_.relation(r).AddRow(&db_.symbols(), {"a2", "b1", "c"});
+    db_.relation(r).AddRow(&db_.symbols(), {"a2", "b1", "c1"});
+    db_.relation(r).AddRow(&db_.symbols(), {"a1", "b", "c1"});
+  }
+
+  PartitionInterpretation interp_;
+  Database db_;
+  ExprArena arena_;
+};
+
+TEST_F(Figure1Test, SatisfiesDatabase) {
+  EXPECT_TRUE(*interp_.SatisfiesDatabase(db_));
+}
+
+TEST_F(Figure1Test, TupleMeaningsAreTheExpectedSingletons) {
+  const Relation& r = db_.relation(0);
+  EXPECT_EQ(*interp_.TupleMeaning(db_, r, r.row(0)), (std::vector<Elem>{1}));
+  EXPECT_EQ(*interp_.TupleMeaning(db_, r, r.row(1)), (std::vector<Elem>{2}));
+  EXPECT_EQ(*interp_.TupleMeaning(db_, r, r.row(2)), (std::vector<Elem>{3}));
+  EXPECT_EQ(*interp_.TupleMeaning(db_, r, r.row(3)), (std::vector<Elem>{4}));
+}
+
+TEST_F(Figure1Test, SatisfiesTheFpd) {
+  // E = { A = A*B }: pi_A refines pi_B.
+  EXPECT_TRUE(*interp_.Satisfies(arena_, *arena_.ParsePd("A = A*B")));
+  EXPECT_TRUE(*interp_.Satisfies(arena_, *arena_.ParsePd("A <= B")));
+  EXPECT_TRUE(*interp_.Satisfies(arena_, *arena_.ParsePd("B = B + A")));
+  // But not the converse.
+  EXPECT_FALSE(*interp_.Satisfies(arena_, *arena_.ParsePd("B <= A")));
+}
+
+TEST_F(Figure1Test, SatisfiesCadAndEap) {
+  EXPECT_TRUE(*interp_.SatisfiesCad(db_));
+  EXPECT_TRUE(interp_.SatisfiesEap());
+}
+
+TEST_F(Figure1Test, NonDistributivityWitness) {
+  // B*(A+C) != (B*A) + (B*C) — the figure's witness that L(I) is not
+  // distributive.
+  Partition lhs = *interp_.Eval(arena_, *arena_.Parse("B*(A+C)"));
+  Partition rhs = *interp_.Eval(arena_, *arena_.Parse("B*A + B*C"));
+  EXPECT_FALSE(lhs == rhs);
+  // Concretely: A+C is the one-block partition, so lhs = pi_B ...
+  EXPECT_EQ(*interp_.Eval(arena_, *arena_.Parse("A+C")),
+            Partition::OneBlock({1, 2, 3, 4}));
+  EXPECT_EQ(lhs, *interp_.AtomicPartition("B"));
+  // ... while B*A = pi_A and B*C is discrete, so rhs = pi_A.
+  EXPECT_EQ(rhs, *interp_.AtomicPartition("A"));
+}
+
+TEST_F(Figure1Test, CadFailsIfSymbolMissingFromDatabase) {
+  // Remove the tuple containing a1 (rebuild d without the last row): CAD
+  // must fail because f_A(a1) is nonempty but a1 no longer appears.
+  Database db2;
+  std::size_t r = db2.AddRelation("R", {"A", "B", "C"});
+  db2.relation(r).AddRow(&db2.symbols(), {"a", "b", "c"});
+  db2.relation(r).AddRow(&db2.symbols(), {"a2", "b1", "c"});
+  db2.relation(r).AddRow(&db2.symbols(), {"a2", "b1", "c1"});
+  EXPECT_FALSE(*interp_.SatisfiesCad(db2));
+}
+
+TEST_F(Figure1Test, DatabaseNotSatisfiedWithBrokenNaming) {
+  // An interpretation mapping x to the empty set falsifies any database
+  // whose tuples mention x (the I' of Section 3.1's example).
+  PartitionInterpretation broken;
+  Partition pa = Partition::FromBlocks({{1}, {4}, {2, 3}});
+  // 'a' no longer names any block; a fresh symbol takes its place.
+  ASSERT_TRUE(broken
+                  .DefineAttribute("A", pa,
+                                   {{"other", *pa.BlockOf(1)},
+                                    {"a1", *pa.BlockOf(4)},
+                                    {"a2", *pa.BlockOf(2)}})
+                  .ok());
+  Partition pb = Partition::FromBlocks({{1, 4}, {2, 3}});
+  ASSERT_TRUE(broken
+                  .DefineAttribute("B", pb,
+                                   {{"b", *pb.BlockOf(1)},
+                                    {"b1", *pb.BlockOf(2)}})
+                  .ok());
+  Partition pc = Partition::FromBlocks({{1, 2}, {3, 4}});
+  ASSERT_TRUE(broken
+                  .DefineAttribute("C", pc,
+                                   {{"c", *pc.BlockOf(1)},
+                                    {"c1", *pc.BlockOf(3)}})
+                  .ok());
+  EXPECT_FALSE(*broken.SatisfiesDatabase(db_));
+}
+
+// --- Definition 1 validation -------------------------------------------------
+
+TEST(InterpretationValidationTest, EmptyPopulationRejected) {
+  PartitionInterpretation interp;
+  Status st = interp.DefineAttribute("A", Partition(), {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(InterpretationValidationTest, NamingMustBeBijective) {
+  PartitionInterpretation interp;
+  Partition p = Partition::FromBlocks({{1}, {2}});
+  // Too few names.
+  EXPECT_FALSE(interp.DefineAttribute("A", p, {{"x", 0}}).ok());
+  // Two names for one block.
+  EXPECT_FALSE(
+      interp.DefineAttribute("A", p, {{"x", 0}, {"y", 0}}).ok());
+  // Out-of-range block.
+  EXPECT_FALSE(
+      interp.DefineAttribute("A", p, {{"x", 0}, {"y", 7}}).ok());
+  // Correct.
+  EXPECT_TRUE(interp.DefineAttribute("A", p, {{"x", 0}, {"y", 1}}).ok());
+}
+
+TEST(InterpretationValidationTest, NamedBlockAndSymbolRoundTrip) {
+  PartitionInterpretation interp;
+  Partition p = Partition::FromBlocks({{1, 2}, {3}});
+  ASSERT_TRUE(interp.DefineAttribute("A", p, {{"x", 0}, {"y", 1}}).ok());
+  EXPECT_EQ(*interp.NamedBlock("A", "x"), (std::vector<Elem>{1, 2}));
+  EXPECT_EQ(*interp.NamedBlock("A", "ghost"), std::vector<Elem>{});
+  EXPECT_EQ(*interp.SymbolOfBlock("A", 0), "x");
+  EXPECT_FALSE(interp.NamedBlock("Z", "x").ok());
+}
+
+TEST(InterpretationValidationTest, EapDetectsDifferentPopulations) {
+  PartitionInterpretation interp;
+  ASSERT_TRUE(interp
+                  .DefineAttribute("A", Partition::FromBlocks({{1, 2}}),
+                                   {{"x", 0}})
+                  .ok());
+  ASSERT_TRUE(interp
+                  .DefineAttribute("B", Partition::FromBlocks({{1, 2}, {3}}),
+                                   {{"y", 0}, {"z", 1}})
+                  .ok());
+  EXPECT_FALSE(interp.SatisfiesEap());
+}
+
+TEST(InterpretationEvalTest, ExampleAEmployeeManager) {
+  // Example a: A = employee-number, B = manager-number, A = A*B means each
+  // employee block lies within one manager block, and p_A subset p_B.
+  PartitionInterpretation interp;
+  Partition emp = Partition::FromBlocks({{1, 2}, {3}});
+  ASSERT_TRUE(interp.DefineAttribute("A", emp, {{"e13", 0}, {"e7", 1}}).ok());
+  // Manager population is larger: manager 7 also manages individual 9 who
+  // has no employee number.
+  Partition mgr = Partition::FromBlocks({{1, 2}, {3, 9}});
+  ASSERT_TRUE(interp.DefineAttribute("B", mgr, {{"m1", 0}, {"m7", 1}}).ok());
+  ExprArena arena;
+  EXPECT_TRUE(*interp.Satisfies(arena, *arena.ParsePd("A = A*B")));
+  EXPECT_TRUE(*interp.Satisfies(arena, *arena.ParsePd("A+B = B")));
+  EXPECT_FALSE(interp.SatisfiesEap());
+}
+
+TEST(InterpretationEvalTest, ExampleCDisjointPopulationsSum) {
+  // Example c: cars and bicycles with disjoint populations; A = C + B.
+  PartitionInterpretation interp;
+  Partition cars = Partition::FromBlocks({{1}, {2, 3}});
+  Partition bikes = Partition::FromBlocks({{10, 11}});
+  Partition vehicles = Partition::FromBlocks({{1}, {2, 3}, {10, 11}});
+  ASSERT_TRUE(interp.DefineAttribute("C", cars, {{"c1", 0}, {"c2", 1}}).ok());
+  ASSERT_TRUE(interp.DefineAttribute("B", bikes, {{"b1", 0}}).ok());
+  ASSERT_TRUE(interp
+                  .DefineAttribute("A", vehicles,
+                                   {{"v1", 0}, {"v2", 1}, {"v3", 2}})
+                  .ok());
+  ExprArena arena;
+  EXPECT_TRUE(*interp.Satisfies(arena, *arena.ParsePd("A = C + B")));
+}
+
+TEST(InterpretationEvalTest, ExampleDCompositeObject) {
+  // Example d: cars C determined by registration A and serial B: C = A*B.
+  PartitionInterpretation interp;
+  Partition reg = Partition::FromBlocks({{1, 2}, {3, 4}});
+  Partition serial = Partition::FromBlocks({{1, 3}, {2, 4}});
+  Partition car = Partition::FromBlocks({{1}, {2}, {3}, {4}});
+  ASSERT_TRUE(interp.DefineAttribute("A", reg, {{"r1", 0}, {"r2", 1}}).ok());
+  ASSERT_TRUE(
+      interp.DefineAttribute("B", serial, {{"s1", 0}, {"s2", 1}}).ok());
+  ASSERT_TRUE(interp
+                  .DefineAttribute(
+                      "C", car, {{"k1", 0}, {"k2", 1}, {"k3", 2}, {"k4", 3}})
+                  .ok());
+  ExprArena arena;
+  EXPECT_TRUE(*interp.Satisfies(arena, *arena.ParsePd("C = A*B")));
+  EXPECT_FALSE(*interp.Satisfies(arena, *arena.ParsePd("C = A+B")));
+}
+
+TEST(InterpretationEvalTest, UndefinedAttributeIsError) {
+  PartitionInterpretation interp;
+  ExprArena arena;
+  auto r = interp.Eval(arena, *arena.Parse("A*B"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace psem

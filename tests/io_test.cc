@@ -1,0 +1,75 @@
+// Tests for the text loaders/dumpers.
+
+#include <gtest/gtest.h>
+
+#include "core/io.h"
+
+namespace psem {
+namespace {
+
+TEST(DatabaseIoTest, LoadAndRoundTrip) {
+  const char* text =
+      "# employees\n"
+      "relation emp(Name, Dept)\n"
+      "row emp ann sales\n"
+      "row emp bob eng   # trailing comment\n"
+      "\n"
+      "relation dept(Dept, Head)\n"
+      "row dept sales kim\n";
+  Database db;
+  ASSERT_TRUE(LoadDatabaseText(text, &db).ok());
+  EXPECT_EQ(db.num_relations(), 2u);
+  EXPECT_EQ(db.relation(0).size(), 2u);
+  EXPECT_EQ(db.relation(1).size(), 1u);
+  // Round trip.
+  std::string dumped = DumpDatabaseText(db);
+  Database db2;
+  ASSERT_TRUE(LoadDatabaseText(dumped, &db2).ok());
+  EXPECT_EQ(DumpDatabaseText(db2), dumped);
+}
+
+TEST(DatabaseIoTest, Errors) {
+  auto load = [](const char* text) {
+    Database db;
+    return LoadDatabaseText(text, &db);
+  };
+  EXPECT_FALSE(load("relation broken").ok());
+  EXPECT_FALSE(load("relation r()").ok());
+  EXPECT_FALSE(load("relation 9bad(A)").ok());
+  EXPECT_FALSE(load("row ghost x").ok());
+  EXPECT_FALSE(load("relation r(A, B)\nrow r onlyone").ok());
+  EXPECT_FALSE(load("relation r(A)\nrelation r(B)").ok());
+  EXPECT_FALSE(load("describe tables").ok());
+  // Error messages carry the line number.
+  Status st = load("relation r(A)\nrow r x\nbogus");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos);
+}
+
+TEST(ConstraintIoTest, LoadsPdsAndFds) {
+  const char* text =
+      "pd C = A + B\n"
+      "pd A <= B     # an FPD\n"
+      "fd A B -> C\n";
+  ExprArena arena;
+  Universe universe;
+  auto file = LoadConstraintsText(text, &arena, &universe);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->pds.size(), 2u);
+  EXPECT_EQ(file->fds.size(), 1u);
+  EXPECT_EQ(arena.ToString(file->pds[0]), "C = A+B");
+  // PD attributes were mirrored into the universe.
+  EXPECT_TRUE(universe.Require("A").ok());
+  EXPECT_TRUE(universe.Require("C").ok());
+}
+
+TEST(ConstraintIoTest, Errors) {
+  ExprArena arena;
+  Universe universe;
+  EXPECT_FALSE(LoadConstraintsText("pd A +", &arena, &universe).ok());
+  EXPECT_FALSE(LoadConstraintsText("fd A", &arena, &universe).ok());
+  EXPECT_FALSE(LoadConstraintsText("mvd A ->> B", &arena, &universe).ok());
+}
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,190 @@
+// Tests for L(I) (Theorem 1) and the full partition lattice Pi_k —
+// including the executable reproductions of Figure 1 (L(I) is a lattice
+// but not distributive) and Figure 2 (isomorphic lattices from an
+// MVD-satisfying and an MVD-violating relation: Theorem 5).
+
+#include <gtest/gtest.h>
+
+#include "lattice/expr.h"
+#include "partition/canonical.h"
+#include "partition/partition_lattice.h"
+#include "relational/dependency.h"
+
+namespace psem {
+namespace {
+
+TEST(PartitionClosureTest, ClosureIsALattice) {
+  std::vector<Partition> atoms = {
+      Partition::FromBlocks({{1}, {4}, {2, 3}}),
+      Partition::FromBlocks({{1, 4}, {2, 3}}),
+      Partition::FromBlocks({{1, 2}, {3, 4}}),
+  };
+  PartitionClosure c = *ClosePartitions(atoms, {"A", "B", "C"});
+  EXPECT_TRUE(c.lattice.ValidateAxioms().ok());
+  EXPECT_GE(c.lattice.size(), 3u);
+  // The atoms map to distinct elements.
+  EXPECT_NE(c.atom_elem[0], c.atom_elem[1]);
+  EXPECT_NE(c.atom_elem[1], c.atom_elem[2]);
+}
+
+TEST(PartitionClosureTest, Figure1LatticeIsNotDistributive) {
+  // L(I) of Figure 1.
+  std::vector<Partition> atoms = {
+      Partition::FromBlocks({{1}, {4}, {2, 3}}),   // pi_A
+      Partition::FromBlocks({{1, 4}, {2, 3}}),     // pi_B
+      Partition::FromBlocks({{1, 2}, {3, 4}}),     // pi_C
+  };
+  PartitionClosure c = *ClosePartitions(atoms, {"A", "B", "C"});
+  EXPECT_TRUE(c.lattice.ValidateAxioms().ok());
+  EXPECT_FALSE(c.lattice.IsDistributive());
+  // The specific witness from the figure: B*(A+C) != B*A + B*C.
+  ExprArena arena;
+  auto asg = c.AssignmentFor(arena);
+  // Interning order: ensure attributes exist in the arena first.
+  arena.Attr("A");
+  arena.Attr("B");
+  arena.Attr("C");
+  asg = c.AssignmentFor(arena);
+  LatticeElem lhs = *c.lattice.Eval(arena, *arena.Parse("B*(A+C)"), asg);
+  LatticeElem rhs = *c.lattice.Eval(arena, *arena.Parse("B*A + B*C"), asg);
+  EXPECT_NE(lhs, rhs);
+}
+
+TEST(PartitionClosureTest, RespectsMaxElements) {
+  // Generators over a 6-element population can blow up; a tiny cap must
+  // trip ResourceExhausted.
+  std::vector<Partition> atoms = {
+      Partition::FromBlocks({{0, 1}, {2, 3}, {4, 5}}),
+      Partition::FromBlocks({{1, 2}, {3, 4}, {0, 5}}),
+      Partition::FromBlocks({{0, 2}, {1, 4}, {3, 5}}),
+  };
+  auto r = ClosePartitions(atoms, {"A", "B", "C"}, /*max_elements=*/4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PartitionClosureTest, InterpretationLatticeMatchesTheorem1) {
+  // I |= pd iff L(I) |= pd, for a sample of PDs.
+  PartitionInterpretation interp;
+  Partition pa = Partition::FromBlocks({{1}, {4}, {2, 3}});
+  ASSERT_TRUE(interp
+                  .DefineAttribute("A", pa,
+                                   {{"a", *pa.BlockOf(1)},
+                                    {"a1", *pa.BlockOf(4)},
+                                    {"a2", *pa.BlockOf(2)}})
+                  .ok());
+  Partition pb = Partition::FromBlocks({{1, 4}, {2, 3}});
+  ASSERT_TRUE(interp
+                  .DefineAttribute("B", pb,
+                                   {{"b", *pb.BlockOf(1)},
+                                    {"b1", *pb.BlockOf(2)}})
+                  .ok());
+  Partition pc = Partition::FromBlocks({{1, 2}, {3, 4}});
+  ASSERT_TRUE(interp
+                  .DefineAttribute("C", pc,
+                                   {{"c", *pc.BlockOf(1)},
+                                    {"c1", *pc.BlockOf(3)}})
+                  .ok());
+  PartitionClosure c = *InterpretationLattice(interp);
+  ExprArena arena;
+  for (const char* pd_text :
+       {"A = A*B", "A <= B", "B <= A", "C = A+B", "B*(A+C) = B*A + B*C",
+        "A+C = B+C", "A*B = A", "C <= A+B"}) {
+    Pd pd = *arena.ParsePd(pd_text);
+    auto asg = c.AssignmentFor(arena);
+    EXPECT_EQ(*interp.Satisfies(arena, pd),
+              *c.lattice.Satisfies(arena, pd, asg))
+        << pd_text;
+  }
+}
+
+TEST(FullPartitionLatticeTest, BellNumbers) {
+  EXPECT_EQ(FullPartitionLattice(1).lattice.size(), 1u);
+  EXPECT_EQ(FullPartitionLattice(2).lattice.size(), 2u);
+  EXPECT_EQ(FullPartitionLattice(3).lattice.size(), 5u);
+  EXPECT_EQ(FullPartitionLattice(4).lattice.size(), 15u);
+  EXPECT_EQ(FullPartitionLattice(5).lattice.size(), 52u);
+}
+
+TEST(FullPartitionLatticeTest, IsAValidLattice) {
+  for (std::size_t k = 1; k <= 5; ++k) {
+    auto full = FullPartitionLattice(k);
+    EXPECT_TRUE(full.lattice.ValidateAxioms().ok()) << "Pi_" << k;
+  }
+}
+
+TEST(FullPartitionLatticeTest, Pi3IsNotDistributiveButPi2Is) {
+  EXPECT_TRUE(FullPartitionLattice(2).lattice.IsDistributive());
+  EXPECT_FALSE(FullPartitionLattice(3).lattice.IsDistributive());
+  // Pi_3 is M3 plus bottom ordering: actually Pi_3 IS M3 (5 elements).
+  EXPECT_TRUE(
+      FullPartitionLattice(3).lattice.IsomorphicTo(FiniteLattice::DiamondM3()));
+}
+
+TEST(FullPartitionLatticeTest, BoundsAreDiscreteAndOneBlock) {
+  auto full = FullPartitionLattice(4);
+  const Partition& bot = full.elements[full.lattice.Bottom()];
+  const Partition& top = full.elements[full.lattice.Top()];
+  EXPECT_EQ(bot.num_blocks(), 4u);
+  EXPECT_EQ(top.num_blocks(), 1u);
+}
+
+// --- Figure 2 / Theorem 5 ------------------------------------------------------
+
+TEST(Figure2Test, MvdIsNotExpressibleByPds) {
+  // r1 satisfies the MVD A ->> B, r2 violates it, yet L(I(r1)) and
+  // L(I(r2)) are isomorphic — so no set of PDs separates them.
+  Database db;
+  std::size_t i1 = db.AddRelation("r1", {"A", "B", "C"});
+  Relation& r1 = db.relation(i1);
+  r1.AddRow(&db.symbols(), {"a", "b1", "c1"});
+  r1.AddRow(&db.symbols(), {"a", "b1", "c2"});
+  r1.AddRow(&db.symbols(), {"a", "b2", "c1"});
+  r1.AddRow(&db.symbols(), {"a", "b2", "c2"});
+  std::size_t i2 = db.AddRelation("r2", {"A", "B", "C"});
+  Relation& r2 = db.relation(i2);
+  r2.AddRow(&db.symbols(), {"a", "b1", "c1"});
+  r2.AddRow(&db.symbols(), {"a", "b2", "c2"});
+  r2.AddRow(&db.symbols(), {"a", "b1", "c2"});
+
+  Mvd mvd = *Mvd::Parse(&db.universe(), "A ->> B");
+  ASSERT_TRUE(*SatisfiesMvd(r1, mvd));
+  ASSERT_FALSE(*SatisfiesMvd(r2, mvd));
+
+  PartitionInterpretation in1 = *CanonicalInterpretation(db, r1);
+  PartitionInterpretation in2 = *CanonicalInterpretation(db, r2);
+  PartitionClosure c1 = *InterpretationLattice(in1);
+  PartitionClosure c2 = *InterpretationLattice(in2);
+  EXPECT_TRUE(c1.lattice.IsomorphicTo(c2.lattice));
+  // (The paper's Fig. 2 draws both lattices; isomorphism is the engine of
+  // the Theorem 5 contradiction.)
+}
+
+TEST(Figure2Test, IsomorphismMapsAtomsToAtoms) {
+  // Stronger check: the two lattices satisfy exactly the same PDs over
+  // {A, B, C} when attributes are matched by name — sample a few.
+  Database db;
+  std::size_t i1 = db.AddRelation("r1", {"A", "B", "C"});
+  Relation& r1 = db.relation(i1);
+  r1.AddRow(&db.symbols(), {"a", "b1", "c1"});
+  r1.AddRow(&db.symbols(), {"a", "b1", "c2"});
+  r1.AddRow(&db.symbols(), {"a", "b2", "c1"});
+  r1.AddRow(&db.symbols(), {"a", "b2", "c2"});
+  std::size_t i2 = db.AddRelation("r2", {"A", "B", "C"});
+  Relation& r2 = db.relation(i2);
+  r2.AddRow(&db.symbols(), {"a", "b1", "c1"});
+  r2.AddRow(&db.symbols(), {"a", "b2", "c2"});
+  r2.AddRow(&db.symbols(), {"a", "b1", "c2"});
+  ExprArena arena;
+  for (const char* pd_text :
+       {"A = B", "B <= A", "A = B+C", "B*C <= A", "A <= B*C", "C <= A+B",
+        "B = B*C", "A = A*B*C"}) {
+    Pd pd = *arena.ParsePd(pd_text);
+    EXPECT_EQ(*RelationSatisfiesPd(db, r1, arena, pd),
+              *RelationSatisfiesPd(db, r2, arena, pd))
+        << pd_text;
+  }
+}
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,207 @@
+// Tests for the Partition type: construction, canonical form, product and
+// sum per Section 3.1, the lattice laws as property tests over random
+// partitions, refinement and the algebraic order of Theorem 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "partition/partition.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+Partition P(const std::vector<std::vector<Elem>>& blocks) {
+  return Partition::FromBlocks(blocks);
+}
+
+TEST(PartitionTest, FromBlocksCanonicalizes) {
+  Partition a = P({{3, 1}, {2}});
+  Partition b = P({{2}, {1, 3}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.num_blocks(), 2u);
+  EXPECT_EQ(a.population_size(), 3u);
+  EXPECT_EQ(a.population(), (std::vector<Elem>{1, 2, 3}));
+}
+
+TEST(PartitionTest, DiscreteAndOneBlock) {
+  Partition d = Partition::Discrete({5, 1, 9});
+  EXPECT_EQ(d.num_blocks(), 3u);
+  Partition o = Partition::OneBlock({5, 1, 9});
+  EXPECT_EQ(o.num_blocks(), 1u);
+  EXPECT_EQ(Partition::OneBlock({}).population_size(), 0u);
+}
+
+TEST(PartitionTest, BlockOfAndBlocks) {
+  Partition p = P({{1, 2}, {3}});
+  EXPECT_EQ(*p.BlockOf(1), *p.BlockOf(2));
+  EXPECT_NE(*p.BlockOf(1), *p.BlockOf(3));
+  EXPECT_FALSE(p.BlockOf(42).has_value());
+  auto blocks = p.Blocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], (std::vector<Elem>{1, 2}));
+  EXPECT_EQ(blocks[1], (std::vector<Elem>{3}));
+}
+
+TEST(PartitionTest, ProductSamePopulation) {
+  // {12|34} * {13|24} = discrete.
+  Partition a = P({{1, 2}, {3, 4}});
+  Partition b = P({{1, 3}, {2, 4}});
+  Partition prod = Partition::Product(a, b);
+  EXPECT_EQ(prod, Partition::Discrete({1, 2, 3, 4}));
+}
+
+TEST(PartitionTest, SumSamePopulation) {
+  // {12|34} + {23|14}: chain 1-2-3-4 all connected -> one block.
+  Partition a = P({{1, 2}, {3, 4}});
+  Partition b = P({{2, 3}, {1, 4}});
+  EXPECT_EQ(Partition::Sum(a, b), Partition::OneBlock({1, 2, 3, 4}));
+  // {12|34} + {12|34} = itself.
+  EXPECT_EQ(Partition::Sum(a, a), a);
+}
+
+TEST(PartitionTest, ProductPopulationIsIntersection) {
+  Partition a = P({{1, 2}, {3}});
+  Partition b = P({{2, 3}, {4}});
+  Partition prod = Partition::Product(a, b);
+  EXPECT_EQ(prod.population(), (std::vector<Elem>{2, 3}));
+  // 2 and 3 are in different blocks of a, so they stay apart.
+  EXPECT_EQ(prod.num_blocks(), 2u);
+}
+
+TEST(PartitionTest, SumPopulationIsUnion) {
+  // Disjoint populations: the sum is the union of the block families
+  // (Example c of Section 3.2).
+  Partition cars = P({{1, 2}});
+  Partition bikes = P({{3}, {4}});
+  Partition vehicles = Partition::Sum(cars, bikes);
+  EXPECT_EQ(vehicles.population(), (std::vector<Elem>{1, 2, 3, 4}));
+  EXPECT_EQ(vehicles.num_blocks(), 3u);
+}
+
+TEST(PartitionTest, SumChainsAcrossOverlap) {
+  // Overlapping populations chain through shared elements.
+  Partition a = P({{1, 2}});
+  Partition b = P({{2, 3}});
+  EXPECT_EQ(Partition::Sum(a, b), Partition::OneBlock({1, 2, 3}));
+}
+
+TEST(PartitionTest, RefinesSamePopulation) {
+  Partition fine = P({{1}, {2}, {3, 4}});
+  Partition coarse = P({{1, 2}, {3, 4}});
+  EXPECT_TRUE(fine.RefinesSamePopulation(coarse));
+  EXPECT_FALSE(coarse.RefinesSamePopulation(fine));
+  EXPECT_TRUE(fine.RefinesSamePopulation(fine));
+  Partition other_pop = P({{1, 2}, {5}});
+  EXPECT_FALSE(fine.RefinesSamePopulation(other_pop));
+}
+
+TEST(PartitionTest, LeqAcrossPopulations) {
+  // Theorem 2: pi <= pi' iff population containment + block containment.
+  Partition small = P({{1, 2}});
+  Partition big = P({{1, 2, 3}});
+  EXPECT_TRUE(small.Leq(big));
+  EXPECT_FALSE(big.Leq(small));
+  Partition crossing = P({{1}, {2, 3}});
+  EXPECT_FALSE(small.Leq(crossing));  // {1,2} not inside one block
+}
+
+TEST(PartitionTest, ToString) {
+  EXPECT_EQ(P({{1, 2}, {3}}).ToString(), "{ 1 2 | 3 }");
+}
+
+TEST(PartitionTest, HashConsistentWithEquality) {
+  Partition a = P({{1, 2}, {3}});
+  Partition b = P({{3}, {2, 1}});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// --- property tests: the partitions over a population form a lattice -------
+
+Partition RandomPartition(Rng* rng, const std::vector<Elem>& population,
+                          uint32_t max_blocks) {
+  std::vector<uint32_t> labels(population.size());
+  for (auto& l : labels) l = static_cast<uint32_t>(rng->Below(max_blocks));
+  return Partition::FromLabels(population, labels);
+}
+
+class PartitionLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionLawsTest, LatticeLawsHoldOnRandomPartitions) {
+  Rng rng(900 + GetParam());
+  std::vector<Elem> pop;
+  for (Elem e = 0; e < 9; ++e) pop.push_back(e * 2);  // sparse ids
+  for (int trial = 0; trial < 40; ++trial) {
+    Partition x = RandomPartition(&rng, pop, 4);
+    Partition y = RandomPartition(&rng, pop, 3);
+    Partition z = RandomPartition(&rng, pop, 5);
+    // Associativity.
+    EXPECT_EQ(Partition::Product(Partition::Product(x, y), z),
+              Partition::Product(x, Partition::Product(y, z)));
+    EXPECT_EQ(Partition::Sum(Partition::Sum(x, y), z),
+              Partition::Sum(x, Partition::Sum(y, z)));
+    // Commutativity.
+    EXPECT_EQ(Partition::Product(x, y), Partition::Product(y, x));
+    EXPECT_EQ(Partition::Sum(x, y), Partition::Sum(y, x));
+    // Idempotence.
+    EXPECT_EQ(Partition::Product(x, x), x);
+    EXPECT_EQ(Partition::Sum(x, x), x);
+    // Absorption.
+    EXPECT_EQ(Partition::Sum(x, Partition::Product(x, y)), x);
+    EXPECT_EQ(Partition::Product(x, Partition::Sum(x, y)), x);
+  }
+}
+
+TEST_P(PartitionLawsTest, ProductIsGlbSumIsLub) {
+  Rng rng(1300 + GetParam());
+  std::vector<Elem> pop = {0, 1, 2, 3, 4, 5, 6};
+  for (int trial = 0; trial < 30; ++trial) {
+    Partition x = RandomPartition(&rng, pop, 4);
+    Partition y = RandomPartition(&rng, pop, 4);
+    Partition m = Partition::Product(x, y);
+    Partition j = Partition::Sum(x, y);
+    // m is a lower bound; j an upper bound.
+    EXPECT_TRUE(m.RefinesSamePopulation(x));
+    EXPECT_TRUE(m.RefinesSamePopulation(y));
+    EXPECT_TRUE(x.RefinesSamePopulation(j));
+    EXPECT_TRUE(y.RefinesSamePopulation(j));
+    // Greatest/least among random candidates.
+    Partition w = RandomPartition(&rng, pop, 4);
+    if (w.RefinesSamePopulation(x) && w.RefinesSamePopulation(y)) {
+      EXPECT_TRUE(w.RefinesSamePopulation(m));
+    }
+    if (x.RefinesSamePopulation(w) && y.RefinesSamePopulation(w)) {
+      EXPECT_TRUE(j.RefinesSamePopulation(w));
+    }
+  }
+}
+
+TEST_P(PartitionLawsTest, LawsHoldAcrossMixedPopulations) {
+  // The laws of Section 3.2 hold even when populations differ.
+  Rng rng(1700 + GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    auto random_pop = [&]() {
+      std::vector<Elem> pop;
+      for (Elem e = 0; e < 8; ++e) {
+        if (rng.Chance(2, 3)) pop.push_back(e);
+      }
+      if (pop.empty()) pop.push_back(0);
+      return pop;
+    };
+    Partition x = RandomPartition(&rng, random_pop(), 3);
+    Partition y = RandomPartition(&rng, random_pop(), 3);
+    Partition z = RandomPartition(&rng, random_pop(), 3);
+    EXPECT_EQ(Partition::Product(Partition::Product(x, y), z),
+              Partition::Product(x, Partition::Product(y, z)));
+    EXPECT_EQ(Partition::Sum(Partition::Sum(x, y), z),
+              Partition::Sum(x, Partition::Sum(y, z)));
+    EXPECT_EQ(Partition::Sum(x, Partition::Product(x, y)), x);
+    EXPECT_EQ(Partition::Product(x, Partition::Sum(x, y)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionLawsTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace psem

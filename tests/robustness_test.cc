@@ -1,0 +1,167 @@
+// Robustness and failure-injection tests: random-byte parser fuzzing
+// (graceful errors, no crashes), deep-nesting limits, degenerate inputs
+// across the public API, and hostile-but-legal edge cases.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "consistency/pd_consistency.h"
+#include "core/csv.h"
+#include "core/io.h"
+#include "core/theory.h"
+#include "lattice/simplify.h"
+#include "partition/partition.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(54000);
+  ExprArena arena;
+  const char alphabet[] = "AB()*+= <ab01_;\t\"";
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input;
+    std::size_t len = rng.Below(24);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.Below(sizeof(alphabet) - 1)];
+    }
+    auto e = arena.Parse(input);
+    auto pd = arena.ParsePd(input);
+    parsed_ok += e.ok();
+    (void)pd;
+  }
+  // The generator produces some valid expressions too.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(ParserFuzzTest, ConstraintAndDatabaseLoadersNeverCrash) {
+  Rng rng(54100);
+  const char alphabet[] = "relation row pd fd(),->AB12 \n#";
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string input;
+    std::size_t len = rng.Below(60);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.Below(sizeof(alphabet) - 1)];
+    }
+    Database db;
+    (void)LoadDatabaseText(input, &db);
+    ExprArena arena;
+    Universe u;
+    (void)LoadConstraintsText(input, &arena, &u);
+    Database db2;
+    (void)LoadCsvRelation(input, &db2);
+  }
+  SUCCEED();
+}
+
+TEST(DeepNestingTest, ParserAndDecidersHandleDeepExpressions) {
+  // 300 levels of parenthesized nesting: parser recursion, printer,
+  // simplifier, identity decider must all survive.
+  ExprArena arena;
+  std::string text = "A";
+  for (int i = 0; i < 300; ++i) text = "(" + text + "*B)";
+  auto e = arena.Parse(text);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(arena.Complexity(*e), 300u);
+  std::string printed = arena.ToString(*e);
+  EXPECT_EQ(*arena.Parse(printed), *e);
+  // The whole thing collapses to A*B.
+  EXPECT_EQ(arena.ToString(SimplifyExpr(&arena, *e)), "A*B");
+}
+
+TEST(DegenerateInputTest, SingleAttributeEverywhere) {
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("A = A").ok());
+  EXPECT_TRUE(*t.ImpliesParsed("A <= A"));
+  EXPECT_TRUE(t.IsIdentity(*t.arena().ParsePd("A = A")));
+  auto model = t.FindCounterexample(*t.arena().ParsePd("A = A"), 2);
+  EXPECT_FALSE(model.has_value());
+}
+
+TEST(DegenerateInputTest, SelfReferentialEquations) {
+  // x = x*y style loops must not hang the engine or the normalizer.
+  ExprArena arena;
+  std::vector<Pd> pds = {*arena.ParsePd("A = A*A"), *arena.ParsePd("B = B+B"),
+                         *arena.ParsePd("C = C*C+C")};
+  PdImplicationEngine engine(&arena, pds);
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A = A")));
+  EXPECT_FALSE(engine.Implies(*arena.ParsePd("A = B")));
+  Database db;
+  std::size_t ri = db.AddRelation("R", {"A", "B", "C"});
+  db.relation(ri).AddRow(&db.symbols(), {"x", "y", "z"});
+  auto report = PdConsistent(&db, arena, pds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+}
+
+TEST(DegenerateInputTest, ContradictionRichTheoryStillTerminates) {
+  // Everything equals everything: the closure collapses to one class.
+  ExprArena arena;
+  std::vector<Pd> pds;
+  for (char c = 'A'; c <= 'F'; ++c) {
+    std::string eq(1, c);
+    eq += " = ";
+    eq += (c == 'F') ? 'A' : static_cast<char>(c + 1);
+    pds.push_back(*arena.ParsePd(eq));
+  }
+  PdImplicationEngine engine(&arena, pds);
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A = F")));
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A*B = E+F")));
+}
+
+TEST(DegenerateInputTest, HugeSymbolsAndAttributeNames) {
+  std::string long_name(1000, 'x');
+  Database db;
+  std::size_t ri = db.AddRelation("R", {long_name, "B"});
+  db.relation(ri).AddRow(&db.symbols(), {std::string(5000, 'v'), "w"});
+  EXPECT_EQ(db.relation(ri).size(), 1u);
+  ExprArena arena;
+  ExprId e = arena.Attr(long_name);
+  EXPECT_EQ(arena.ToString(e), long_name);
+}
+
+TEST(DegenerateInputTest, PartitionOfOneAndDisjointProducts) {
+  Partition single = Partition::OneBlock({7});
+  EXPECT_EQ(single.num_blocks(), 1u);
+  Partition other = Partition::OneBlock({9});
+  Partition prod = Partition::Product(single, other);
+  EXPECT_TRUE(prod.empty());  // disjoint populations: empty partition
+  Partition sum = Partition::Sum(single, other);
+  EXPECT_EQ(sum.num_blocks(), 2u);
+  // Empty partition is absorbing for product, neutral for sum.
+  EXPECT_TRUE(Partition::Product(prod, single).empty());
+  EXPECT_EQ(Partition::Sum(prod, single), single);
+}
+
+TEST(DegenerateInputTest, ManyDuplicatePdsDoNotBlowUpV) {
+  ExprArena arena;
+  std::vector<Pd> pds;
+  for (int i = 0; i < 200; ++i) pds.push_back(*arena.ParsePd("A*B <= C"));
+  PdImplicationEngine engine(&arena, pds);
+  EXPECT_TRUE(engine.Implies(*arena.ParsePd("A*B <= C")));
+  // Hash-consing keeps V at the handful of distinct subexpressions.
+  EXPECT_LE(engine.stats().num_vertices, 8u);
+}
+
+TEST(DegenerateInputTest, WideUniverseConsistency) {
+  // 64+ attributes crossing the bitset word boundary.
+  Database db;
+  std::vector<std::string> attrs;
+  for (int i = 0; i < 70; ++i) attrs.push_back("A" + std::to_string(i));
+  std::size_t ri = db.AddRelation("wide", attrs);
+  std::vector<std::string> row;
+  for (int i = 0; i < 70; ++i) row.push_back("v" + std::to_string(i % 7));
+  db.relation(ri).AddRow(&db.symbols(), row);
+  ExprArena arena;
+  std::vector<Pd> pds = {*arena.ParsePd("A0 <= A69"),
+                         *arena.ParsePd("A69 = A1+A68")};
+  auto report = PdConsistent(&db, arena, pds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+}
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,118 @@
+// Tests for the idempotent-commutative-semigroup word problem and the
+// Section 5.3 two-way reduction with FD implication and Algorithm ALG.
+
+#include <gtest/gtest.h>
+
+#include "core/fd_theory.h"
+#include "core/fpd.h"
+#include "core/implication.h"
+#include "core/semigroup.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+TEST(SemigroupTest, AxiomsViaNormalForm) {
+  Universe u;
+  IcSemigroupTheory t(&u);
+  AttrSet ab = u.MakeSet({"A", "B"});
+  AttrSet ba = u.MakeSet({"B", "A"});
+  AttrSet aab = u.MakeSet({"A", "A", "B"});
+  // Commutativity and idempotence are baked into the set representation.
+  EXPECT_TRUE(t.Equal(ab, ba));
+  EXPECT_TRUE(t.Equal(ab, aab));
+  EXPECT_FALSE(t.Equal(ab, u.MakeSet({"A"})));
+}
+
+TEST(SemigroupTest, EquationSaturation) {
+  Universe u;
+  IcSemigroupTheory t(&u);
+  ASSERT_TRUE(t.AddParsed("A = A B").ok());   // A absorbs B
+  ASSERT_TRUE(t.AddParsed("B = B C").ok());
+  AttrSet a = u.MakeSet({"A"});
+  EXPECT_EQ(u.SetToString(t.NormalForm(a)), "A B C");
+  EXPECT_TRUE(t.Equal(u.MakeSet({"A"}), u.MakeSet({"A", "C"})));
+  EXPECT_FALSE(t.Equal(u.MakeSet({"B"}), u.MakeSet({"A", "B"})));
+  EXPECT_TRUE(t.LeqWord(u.MakeSet({"A"}), u.MakeSet({"C"})));
+  EXPECT_FALSE(t.LeqWord(u.MakeSet({"C"}), u.MakeSet({"A"})));
+}
+
+TEST(SemigroupTest, ParseErrors) {
+  Universe u;
+  IcSemigroupTheory t(&u);
+  EXPECT_FALSE(t.AddParsed("A B").ok());
+  EXPECT_FALSE(t.AddParsed("= A").ok());
+  EXPECT_FALSE(t.AddParsed("A = ").ok());
+  EXPECT_FALSE(t.AddParsed("A = 9x").ok());
+}
+
+TEST(SemigroupTest, FdRoundTrip) {
+  // FDs -> presentation -> FDs preserves the closure operator.
+  Universe u;
+  FdTheory fds(&u);
+  ASSERT_TRUE(fds.AddParsed("A -> B").ok());
+  ASSERT_TRUE(fds.AddParsed("B C -> D").ok());
+  IcSemigroupTheory sg = IcSemigroupTheory::FromFds(&u, fds.fds());
+  FdTheory back(&u);
+  for (const Fd& fd : sg.ToFds()) back.Add(fd);
+  EXPECT_TRUE(fds.EquivalentTo(back));
+}
+
+class SemigroupAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemigroupAgreementTest, ThreeEnginesAgree) {
+  Rng rng(6600 + GetParam());
+  const int n = 5;
+  for (int trial = 0; trial < 10; ++trial) {
+    Universe u;
+    for (int i = 0; i < n; ++i) u.Intern(std::string(1, 'A' + i));
+    // Random FD set.
+    FdTheory fds(&u);
+    for (int f = 0; f < 3; ++f) {
+      AttrSet lhs(n), rhs(n);
+      do {
+        for (int a = 0; a < n; ++a) {
+          if (rng.Chance(1, 3)) lhs.Set(a);
+        }
+      } while (!lhs.Any());
+      do {
+        for (int a = 0; a < n; ++a) {
+          if (rng.Chance(1, 3)) rhs.Set(a);
+        }
+      } while (!rhs.Any());
+      fds.Add(Fd{lhs, rhs});
+    }
+    IcSemigroupTheory sg = IcSemigroupTheory::FromFds(&u, fds.fds());
+    ExprArena arena;
+    std::vector<Pd> fpds = FdsToFpds(u, &arena, fds.fds());
+    PdImplicationEngine alg(&arena, fpds);
+    for (int q = 0; q < 10; ++q) {
+      AttrSet x(n), y(n);
+      do {
+        for (int a = 0; a < n; ++a) {
+          if (rng.Chance(1, 3)) x.Set(a);
+        }
+      } while (!x.Any());
+      do {
+        for (int a = 0; a < n; ++a) {
+          if (rng.Chance(1, 3)) y.Set(a);
+        }
+      } while (!y.Any());
+      Fd fd{x, y};
+      bool by_fd = fds.Implies(fd);
+      bool by_sg = sg.LeqWord(x, y);
+      bool by_alg = alg.Implies(FdToFpd(u, &arena, fd));
+      ASSERT_EQ(by_fd, by_sg) << fd.ToString(u);
+      ASSERT_EQ(by_fd, by_alg) << fd.ToString(u);
+      // Word equality X = Y is the FD pair both ways.
+      bool eq_sg = sg.Equal(x, y);
+      bool eq_fd = fds.Implies(Fd{x, y}) && fds.Implies(Fd{y, x});
+      ASSERT_EQ(eq_sg, eq_fd);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemigroupAgreementTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace psem

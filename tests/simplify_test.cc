@@ -1,0 +1,99 @@
+// Tests for identity-preserving simplification: known reductions, the
+// =_id-equivalence and non-growth contracts on random expressions, and
+// idempotence of the simplifier.
+
+#include <gtest/gtest.h>
+
+#include "lattice/simplify.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+std::string Simplified(ExprArena* arena, const char* text) {
+  ExprId e = *arena->Parse(text);
+  return arena->ToString(SimplifyExpr(arena, e));
+}
+
+TEST(SimplifyTest, AbsorptionLaws) {
+  ExprArena a;
+  EXPECT_EQ(Simplified(&a, "A*(A+B)"), "A");
+  EXPECT_EQ(Simplified(&a, "A+A*B"), "A");
+  EXPECT_EQ(Simplified(&a, "(A+B)*A"), "A");
+  EXPECT_EQ(Simplified(&a, "A*B+A"), "A");
+}
+
+TEST(SimplifyTest, Idempotence) {
+  ExprArena a;
+  EXPECT_EQ(Simplified(&a, "A*A"), "A");
+  EXPECT_EQ(Simplified(&a, "A+A+A"), "A");
+  EXPECT_EQ(Simplified(&a, "A*A*B*B"), "A*B");
+}
+
+TEST(SimplifyTest, DominatedOperands) {
+  ExprArena a;
+  // A*B <= A, so A is a redundant factor of (A*B)*A.
+  EXPECT_EQ(Simplified(&a, "A*B*A"), "A*B");
+  // A <= A+B, so A+B is a redundant summand next to... careful: for sums
+  // the SMALLER operand is redundant: A + (A+B) = A+B.
+  EXPECT_EQ(Simplified(&a, "A+(A+B)"), "A+B");
+  // Deep domination: (A*B*C) is below A*B.
+  EXPECT_EQ(Simplified(&a, "(A*B*C)*(A*B)"), "A*B*C");
+}
+
+TEST(SimplifyTest, NestedReductions) {
+  ExprArena a;
+  EXPECT_EQ(Simplified(&a, "A*(A+B*(B+C))"), "A");
+  EXPECT_EQ(Simplified(&a, "(A+A)*(B+B)"), "A*B");
+  EXPECT_EQ(Simplified(&a, "A*(B+B)+A"), "A");
+}
+
+TEST(SimplifyTest, IrreducibleExpressionsUnchanged) {
+  ExprArena a;
+  EXPECT_EQ(Simplified(&a, "A*B"), "A*B");
+  EXPECT_EQ(Simplified(&a, "A+B"), "A+B");
+  EXPECT_EQ(Simplified(&a, "A*(B+C)"), "A*(B+C)");
+  EXPECT_EQ(Simplified(&a, "A*B+C*D"), "A*B+C*D");
+}
+
+TEST(SimplifyTest, SimplifyPdBothSides) {
+  ExprArena a;
+  Pd pd = *a.ParsePd("A*(A+B) <= C+C");
+  Pd simplified = SimplifyPd(&a, pd);
+  EXPECT_EQ(a.ToString(simplified), "A <= C");
+  EXPECT_FALSE(simplified.is_equation);
+}
+
+ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops) {
+  if (ops == 0) {
+    return arena->Attr(
+        std::string(1, static_cast<char>('A' + rng->Below(num_attrs))));
+  }
+  int left = static_cast<int>(rng->Below(static_cast<uint64_t>(ops)));
+  ExprId l = RandomExpr(arena, rng, num_attrs, left);
+  ExprId r = RandomExpr(arena, rng, num_attrs, ops - 1 - left);
+  return rng->Chance(1, 2) ? arena->Product(l, r) : arena->Sum(l, r);
+}
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyPropertyTest, EquivalentAndNonGrowingAndIdempotent) {
+  Rng rng(7700 + GetParam());
+  ExprArena arena;
+  WhitmanMemo w(&arena);
+  for (int trial = 0; trial < 50; ++trial) {
+    ExprId e = RandomExpr(&arena, &rng, 3, 1 + trial % 8);
+    ExprId s = SimplifyExpr(&arena, e);
+    // =_id equivalence (Lemma 8.2: equal in every lattice).
+    ASSERT_TRUE(w.Eq(e, s)) << arena.ToString(e) << " vs " << arena.ToString(s);
+    // Non-growth.
+    EXPECT_LE(arena.TreeSize(s), arena.TreeSize(e));
+    // Idempotence.
+    EXPECT_EQ(SimplifyExpr(&arena, s), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace psem

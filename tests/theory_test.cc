@@ -1,0 +1,164 @@
+// Integration tests for the PdTheory facade and the FPD bridge: the
+// user-facing workflow of building a theory, asking implication,
+// equivalence, identity, and relation-satisfaction questions.
+
+#include <gtest/gtest.h>
+
+#include "core/fpd.h"
+#include "core/proof.h"
+#include "core/theory.h"
+#include "relational/dependency.h"
+
+namespace psem {
+namespace {
+
+TEST(PdTheoryTest, EndToEndWorkflow) {
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("A = A*B").ok());   // A -> B
+  ASSERT_TRUE(t.AddParsed("B <= C").ok());    // B -> C
+  ASSERT_TRUE(t.AddParsed("D = B+C").ok());   // D is the B/C connectivity
+  EXPECT_TRUE(*t.ImpliesParsed("A <= C"));
+  EXPECT_TRUE(*t.ImpliesParsed("B <= D"));
+  EXPECT_TRUE(*t.ImpliesParsed("A <= D"));
+  EXPECT_FALSE(*t.ImpliesParsed("D <= A"));
+  EXPECT_FALSE(t.ImpliesParsed("garbage !").ok());
+}
+
+TEST(PdTheoryTest, AddInvalidatesEngine) {
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("A <= B").ok());
+  EXPECT_FALSE(*t.ImpliesParsed("A <= C"));
+  ASSERT_TRUE(t.AddParsed("B <= C").ok());
+  EXPECT_TRUE(*t.ImpliesParsed("A <= C"));
+}
+
+TEST(PdTheoryTest, EquivalentPds) {
+  PdTheory t;
+  Pd a = *t.arena().ParsePd("X = X*Y");
+  Pd b = *t.arena().ParsePd("Y = Y+X");
+  Pd c = *t.arena().ParsePd("X <= Y");
+  EXPECT_TRUE(t.Equivalent(a, b));
+  EXPECT_TRUE(t.Equivalent(b, c));
+  Pd d = *t.arena().ParsePd("Y <= X");
+  EXPECT_FALSE(t.Equivalent(a, d));
+  // Equivalence is relative to the theory: with Y <= X added, X <= Y and
+  // X = Y become equivalent.
+  ASSERT_TRUE(t.AddParsed("Y <= X").ok());
+  Pd e = *t.arena().ParsePd("X = Y");
+  EXPECT_TRUE(t.Equivalent(c, e));
+}
+
+TEST(PdTheoryTest, IsIdentity) {
+  PdTheory t;
+  EXPECT_TRUE(t.IsIdentity(*t.arena().ParsePd("A*(A+B) = A")));
+  EXPECT_TRUE(t.IsIdentity(*t.arena().ParsePd("A*B <= A")));
+  EXPECT_FALSE(t.IsIdentity(*t.arena().ParsePd("A = B")));
+  // IsIdentity ignores the theory (it is the E = {} fragment).
+  ASSERT_TRUE(t.AddParsed("A = B").ok());
+  EXPECT_FALSE(t.IsIdentity(*t.arena().ParsePd("A = B")));
+  EXPECT_TRUE(*t.ImpliesParsed("A = B"));
+}
+
+TEST(PdTheoryTest, SatisfiedByRelation) {
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("A <= B").ok());
+  Database db;
+  std::size_t ri = db.AddRelation("R", {"A", "B"});
+  Relation& r = db.relation(ri);
+  r.AddRow(&db.symbols(), {"a1", "b1"});
+  r.AddRow(&db.symbols(), {"a2", "b1"});
+  EXPECT_TRUE(*t.SatisfiedBy(db, r));
+  r.AddRow(&db.symbols(), {"a1", "b2"});
+  EXPECT_FALSE(*t.SatisfiedBy(db, r));
+}
+
+TEST(PdTheoryTest, ImpliedPdsHoldInSatisfyingRelations) {
+  // Soundness at the facade level: every relation satisfying E satisfies
+  // all implied PDs (Theorem 8 d).
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("C = A+B").ok());
+  Database db;
+  std::size_t ri = db.AddRelation("R", {"A", "B", "C"});
+  Relation& r = db.relation(ri);
+  r.AddRow(&db.symbols(), {"a1", "b1", "c1"});
+  r.AddRow(&db.symbols(), {"a1", "b2", "c1"});
+  r.AddRow(&db.symbols(), {"a2", "b3", "c2"});
+  ASSERT_TRUE(*t.SatisfiedBy(db, r));
+  for (const char* q : {"A <= C", "B <= C", "C <= A+B", "A*B <= C"}) {
+    Pd pd = *t.arena().ParsePd(q);
+    ASSERT_TRUE(t.Implies(pd)) << q;
+    EXPECT_TRUE(*RelationSatisfiesPd(db, r, t.arena(), pd)) << q;
+  }
+}
+
+TEST(FpdBridgeTest, SpellingsRoundTrip) {
+  Universe u;
+  ExprArena arena;
+  Fd fd = *Fd::Parse(&u, "A B -> C");
+  auto spellings = FpdSpellings(u, &arena, fd);
+  ASSERT_EQ(spellings.size(), 3u);
+  EXPECT_EQ(arena.ToString(spellings[0]), "A*B = A*B*C");
+  EXPECT_EQ(arena.ToString(spellings[1]), "C = C+A*B");
+  EXPECT_EQ(arena.ToString(spellings[2]), "A*B <= C");
+}
+
+TEST(FpdBridgeTest, FpdToFdRecognizesForms) {
+  Universe u;
+  ExprArena arena;
+  // X <= Y form. (Attribute print order follows universe interning order.)
+  u.Intern("A");
+  u.Intern("B");
+  u.Intern("C");
+  auto fd1 = FpdToFd(arena, &u, *arena.ParsePd("A*B <= C"));
+  ASSERT_TRUE(fd1.has_value());
+  EXPECT_EQ(fd1->ToString(u), "A B -> C");
+  // X = X*Y form.
+  auto fd2 = FpdToFd(arena, &u, *arena.ParsePd("A = A*C"));
+  ASSERT_TRUE(fd2.has_value());
+  EXPECT_EQ(fd2->ToString(u), "A -> C");
+  // Not FPDs.
+  EXPECT_FALSE(FpdToFd(arena, &u, *arena.ParsePd("A = B+C")).has_value());
+  EXPECT_FALSE(FpdToFd(arena, &u, *arena.ParsePd("A <= B+C")).has_value());
+  EXPECT_FALSE(FpdToFd(arena, &u, *arena.ParsePd("A = B")).has_value());
+}
+
+TEST(FpdBridgeTest, FdToFpdAndBack) {
+  Universe u;
+  ExprArena arena;
+  Fd fd = *Fd::Parse(&u, "A C -> B D");
+  Pd pd = FdToFpd(u, &arena, fd);
+  auto back = FpdToFd(arena, &u, pd);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->lhs, fd.lhs);
+  EXPECT_EQ(back->rhs, fd.rhs);
+}
+
+TEST(PdTheoryTest, ExplainProducesValidProof) {
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("A <= B").ok());
+  ASSERT_TRUE(t.AddParsed("B <= C").ok());
+  Pd query = *t.arena().ParsePd("A <= C");
+  auto proof = t.Explain(query);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(ValidateProof(t.arena(), t.pds(), *proof).ok());
+  auto text = t.ExplainText("A <= C");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("transitivity"), std::string::npos);
+  EXPECT_FALSE(t.Explain(*t.arena().ParsePd("C <= A")).ok());
+}
+
+TEST(PdTheoryTest, FindCounterexampleAgreesWithImplies) {
+  PdTheory t;
+  ASSERT_TRUE(t.AddParsed("A <= B").ok());
+  Pd implied = *t.arena().ParsePd("A*C <= B");
+  Pd not_implied = *t.arena().ParsePd("B <= A");
+  EXPECT_TRUE(t.Implies(implied));
+  EXPECT_FALSE(t.FindCounterexample(implied).has_value());
+  EXPECT_FALSE(t.Implies(not_implied));
+  auto model = t.FindCounterexample(not_implied);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_FALSE(*model->interpretation.Satisfies(t.arena(), not_implied));
+}
+
+}  // namespace
+}  // namespace psem

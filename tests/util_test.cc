@@ -1,0 +1,311 @@
+// Unit tests for the utility substrate: Status/Result, DynamicBitset,
+// UnionFind, StringInterner, Rng, string helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/bitset.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/union_find.h"
+
+namespace psem {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad expr");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad expr");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad expr");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kResourceExhausted, StatusCode::kInconsistent,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  PSEM_ASSIGN_OR_RETURN(int h, HalfOf(x));
+  PSEM_ASSIGN_OR_RETURN(int q, HalfOf(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterOf(8), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // fails at the second step
+  EXPECT_FALSE(QuarterOf(3).ok());  // fails at the first step
+}
+
+// --- DynamicBitset ----------------------------------------------------------
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(BitsetTest, UnionIntersectionSubtract) {
+  DynamicBitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  DynamicBitset u = a;
+  EXPECT_TRUE(u.UnionWith(b));
+  EXPECT_EQ(u.Count(), 3u);
+  EXPECT_FALSE(u.UnionWith(b));  // no change second time
+  DynamicBitset i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(50));
+  DynamicBitset d = a;
+  d.SubtractWith(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitsetTest, UnionWithAnd) {
+  DynamicBitset a(64), b(64), c(64);
+  a.Set(3);
+  a.Set(5);
+  b.Set(5);
+  b.Set(7);
+  EXPECT_TRUE(c.UnionWithAnd(a, b));
+  EXPECT_EQ(c.Count(), 1u);
+  EXPECT_TRUE(c.Test(5));
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  DynamicBitset a(10), b(10);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  DynamicBitset c(10);
+  c.Set(9);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(c.IsSubsetOf(c));
+}
+
+TEST(BitsetTest, NextSetBitAndForEach) {
+  DynamicBitset b(200);
+  std::vector<std::size_t> want = {0, 63, 64, 127, 199};
+  for (auto i : want) b.Set(i);
+  std::vector<std::size_t> got;
+  b.ForEach([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(b.NextSetBit(65), 127u);
+  EXPECT_EQ(b.NextSetBit(200), 200u);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  DynamicBitset a(66), b(66);
+  a.Set(65);
+  b.Set(65);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(0);
+  EXPECT_FALSE(a == b);
+}
+
+// --- UnionFind --------------------------------------------------------------
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 4u);
+}
+
+TEST(UnionFindTest, CanonicalLabelsNumberedByFirstOccurrence) {
+  UnionFind uf(6);
+  uf.Union(3, 5);
+  uf.Union(0, 4);
+  auto labels = uf.CanonicalLabels();
+  // 0 -> 0, 1 -> 1, 2 -> 2, 3 -> 3, 4 -> 0 (joined 0), 5 -> 3.
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[4], 0u);
+  EXPECT_EQ(labels[3], labels[5]);
+  EXPECT_NE(labels[1], labels[2]);
+}
+
+TEST(UnionFindTest, AddElement) {
+  UnionFind uf(2);
+  uint32_t id = uf.AddElement();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(uf.num_sets(), 3u);
+  uf.Union(0, id);
+  EXPECT_TRUE(uf.Connected(0, 2));
+}
+
+TEST(UnionFindTest, RandomStressAgainstNaiveLabels) {
+  Rng rng(123);
+  const std::size_t n = 200;
+  UnionFind uf(n);
+  std::vector<uint32_t> naive(n);
+  for (uint32_t i = 0; i < n; ++i) naive[i] = i;
+  auto naive_union = [&](uint32_t a, uint32_t b) {
+    uint32_t la = naive[a], lb = naive[b];
+    if (la == lb) return;
+    for (auto& l : naive) {
+      if (l == lb) l = la;
+    }
+  };
+  for (int step = 0; step < 500; ++step) {
+    uint32_t a = static_cast<uint32_t>(rng.Below(n));
+    uint32_t b = static_cast<uint32_t>(rng.Below(n));
+    uf.Union(a, b);
+    naive_union(a, b);
+    if (step % 50 == 0) {
+      uint32_t x = static_cast<uint32_t>(rng.Below(n));
+      uint32_t y = static_cast<uint32_t>(rng.Below(n));
+      EXPECT_EQ(uf.Connected(x, y), naive[x] == naive[y]);
+    }
+  }
+  std::set<uint32_t> uf_classes, naive_classes;
+  auto labels = uf.CanonicalLabels();
+  for (uint32_t i = 0; i < n; ++i) {
+    uf_classes.insert(labels[i]);
+    naive_classes.insert(naive[i]);
+  }
+  EXPECT_EQ(uf_classes.size(), naive_classes.size());
+  EXPECT_EQ(uf.num_sets(), uf_classes.size());
+}
+
+// --- StringInterner ---------------------------------------------------------
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner in;
+  uint32_t a = in.Intern("alpha");
+  uint32_t b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.NameOf(a), "alpha");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(InternerTest, LookupWithoutInterning) {
+  StringInterner in;
+  EXPECT_FALSE(in.Lookup("ghost").has_value());
+  in.Intern("ghost");
+  EXPECT_TRUE(in.Lookup("ghost").has_value());
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.Between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+// --- strings ------------------------------------------------------------------
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(StringsTest, SplitAndStrip) {
+  auto parts = SplitAndStrip(" a, b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("A"));
+  EXPECT_TRUE(IsIdentifier("_tmp9"));
+  EXPECT_FALSE(IsIdentifier("9a"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+}  // namespace
+}  // namespace psem

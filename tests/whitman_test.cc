@@ -1,0 +1,217 @@
+// Tests for the <=_id deciders (Whitman's condition; Section 5.1 rules,
+// Theorem 10): known identities and non-identities, agreement between the
+// memoized and the storage-free iterative implementations, and soundness
+// against explicit finite-lattice models.
+
+#include <gtest/gtest.h>
+
+#include "lattice/expr.h"
+#include "lattice/finite_lattice.h"
+#include "lattice/whitman.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+class WhitmanTest : public ::testing::Test {
+ protected:
+  bool LeqId(const char* p, const char* q) {
+    WhitmanMemo w(&arena_);
+    return w.Leq(*arena_.Parse(p), *arena_.Parse(q));
+  }
+  bool EqId(const char* p, const char* q) {
+    WhitmanMemo w(&arena_);
+    return w.Eq(*arena_.Parse(p), *arena_.Parse(q));
+  }
+  ExprArena arena_;
+};
+
+TEST_F(WhitmanTest, LatticeAxiomsAreIdentities) {
+  // The LA axioms of Section 2.2 hold in every lattice.
+  EXPECT_TRUE(EqId("(A*B)*C", "A*(B*C)"));
+  EXPECT_TRUE(EqId("(A+B)+C", "A+(B+C)"));
+  EXPECT_TRUE(EqId("A*B", "B*A"));
+  EXPECT_TRUE(EqId("A+B", "B+A"));
+  EXPECT_TRUE(EqId("A*A", "A"));
+  EXPECT_TRUE(EqId("A+A", "A"));
+  EXPECT_TRUE(EqId("A+A*B", "A"));
+  EXPECT_TRUE(EqId("A*(A+B)", "A"));
+}
+
+TEST_F(WhitmanTest, OrderBasics) {
+  EXPECT_TRUE(LeqId("A", "A"));
+  EXPECT_FALSE(LeqId("A", "B"));
+  EXPECT_TRUE(LeqId("A*B", "A"));
+  EXPECT_TRUE(LeqId("A*B", "B"));
+  EXPECT_TRUE(LeqId("A", "A+B"));
+  EXPECT_TRUE(LeqId("B", "A+B"));
+  EXPECT_FALSE(LeqId("A", "A*B"));
+  EXPECT_FALSE(LeqId("A+B", "A"));
+  EXPECT_TRUE(LeqId("A*B*C", "A*B"));
+  EXPECT_TRUE(LeqId("A+B", "A+B+C"));
+}
+
+TEST_F(WhitmanTest, OneDistributiveInequalityIsValid) {
+  // x*y + x*z <= x*(y+z) holds in all lattices; the converse does not.
+  EXPECT_TRUE(LeqId("A*B + A*C", "A*(B+C)"));
+  EXPECT_FALSE(LeqId("A*(B+C)", "A*B + A*C"));
+  EXPECT_FALSE(EqId("A*(B+C)", "A*B + A*C"));
+  // Dually: x + y*z <= (x+y)*(x+z) is valid, not the converse.
+  EXPECT_TRUE(LeqId("A + B*C", "(A+B)*(A+C)"));
+  EXPECT_FALSE(LeqId("(A+B)*(A+C)", "A + B*C"));
+}
+
+TEST_F(WhitmanTest, ModularLawIsNotAnIdentity) {
+  // a <= c -> a+(b*c) = (a+b)*c fails in N5; as an identity over free
+  // variables the inequality (A*C)+(B*C) <= (A+B)*C is valid but equality
+  // is not.
+  EXPECT_TRUE(LeqId("A*C + B*C", "(A+B)*C"));
+  EXPECT_FALSE(EqId("A*C + B*C", "(A+B)*C"));
+}
+
+TEST_F(WhitmanTest, MonotonicityOfOperators) {
+  // From A*B <= A: A*B + C <= A + C and (A*B)*C <= A*C.
+  EXPECT_TRUE(LeqId("A*B + C", "A + C"));
+  EXPECT_TRUE(LeqId("(A*B)*C", "A*C"));
+}
+
+TEST_F(WhitmanTest, DeepAbsorptionChain) {
+  EXPECT_TRUE(EqId("A*(A+B*(B+C))", "A"));
+  EXPECT_TRUE(EqId("A+(A*(B+(B*C)))", "A"));
+}
+
+TEST_F(WhitmanTest, MedianInequality) {
+  // The median inequality: (a*b)+(b*c)+(c*a) <= (a+b)*(b+c)*(c+a).
+  EXPECT_TRUE(LeqId("A*B + B*C + C*A", "(A+B)*(B+C)*(C+A)"));
+  EXPECT_FALSE(LeqId("(A+B)*(B+C)*(C+A)", "A*B + B*C + C*A"));
+}
+
+TEST_F(WhitmanTest, TheoremFourFpdDecomposition) {
+  // Section 4.2: A+B = (A+B)*C is equivalent to A = A*C and B = B*C; here
+  // we check the identity-level direction A+B <= C iff A <= C and B <= C
+  // via rule 7 at the syntax level.
+  EXPECT_TRUE(LeqId("A+B", "A+B+C"));
+  EXPECT_FALSE(LeqId("A+B", "C"));
+  EXPECT_TRUE(LeqId("A*C + B*C", "C"));
+}
+
+TEST_F(WhitmanTest, MemoSizeIsBounded) {
+  WhitmanMemo w(&arena_);
+  ExprId p = *arena_.Parse("(A+B)*(C+D)*(A+C)");
+  ExprId q = *arena_.Parse("(A*B)+(C*D)+(B*D)");
+  w.Leq(p, q);
+  // At most one entry per pair of distinct subexpressions.
+  EXPECT_LE(w.memo_size(), arena_.size() * arena_.size());
+}
+
+// --- iterative vs memo, random differential ---------------------------------
+
+// Random expression over `num_attrs` attributes with `ops` operators.
+ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops) {
+  if (ops == 0) {
+    return arena->Attr(std::string(1, static_cast<char>(
+                                          'A' + rng->Below(num_attrs))));
+  }
+  int left = static_cast<int>(rng->Below(static_cast<uint64_t>(ops)));
+  ExprId l = RandomExpr(arena, rng, num_attrs, left);
+  ExprId r = RandomExpr(arena, rng, num_attrs, ops - 1 - left);
+  return rng->Chance(1, 2) ? arena->Product(l, r) : arena->Sum(l, r);
+}
+
+class WhitmanDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WhitmanDifferentialTest, MemoAgreesWithIterative) {
+  Rng rng(1000 + GetParam());
+  ExprArena arena;
+  WhitmanMemo memo(&arena);
+  WhitmanIterative iter(&arena);
+  int agree_true = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    ExprId p = RandomExpr(&arena, &rng, 3, 1 + trial % 6);
+    ExprId q = RandomExpr(&arena, &rng, 3, 1 + (trial / 2) % 6);
+    WhitmanIterativeStats stats;
+    bool a = memo.Leq(p, q);
+    bool b = iter.Leq(p, q, &stats);
+    ASSERT_EQ(a, b) << arena.ToString(p) << " <= " << arena.ToString(q);
+    EXPECT_GT(stats.total_calls, 0u);
+    EXPECT_GT(stats.peak_stack_depth, 0u);
+    agree_true += a;
+  }
+  // Sanity: the generator produces both outcomes.
+  EXPECT_GT(agree_true, 0);
+  EXPECT_LT(agree_true, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WhitmanDifferentialTest,
+                         ::testing::Range(0, 8));
+
+// --- soundness against lattice models ----------------------------------------
+
+// If p <=_id q then eval(p) <= eval(q) under EVERY assignment in EVERY
+// lattice. We check exhaustively over small standard lattices.
+class WhitmanSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WhitmanSoundnessTest, IdentityHoldsInModels) {
+  Rng rng(77 + GetParam());
+  ExprArena arena;
+  WhitmanMemo memo(&arena);
+  FiniteLattice models[] = {FiniteLattice::DiamondM3(),
+                            FiniteLattice::PentagonN5(),
+                            FiniteLattice::Boolean(3),
+                            FiniteLattice::Chain(4),
+                            FiniteLattice::Divisors(36)};
+  for (int trial = 0; trial < 25; ++trial) {
+    ExprId p = RandomExpr(&arena, &rng, 3, 1 + trial % 5);
+    ExprId q = RandomExpr(&arena, &rng, 3, 1 + (trial + 2) % 5);
+    bool id = memo.Leq(p, q);
+    for (const FiniteLattice& l : models) {
+      // Exhaust all assignments of the 3 attributes (A, B, C were interned
+      // first by RandomExpr in some order; assign all arena attrs).
+      std::size_t k = arena.num_attrs();
+      ASSERT_LE(k, 3u);
+      std::vector<LatticeElem> asg(k, 0);
+      std::size_t total = 1;
+      for (std::size_t i = 0; i < k; ++i) total *= l.size();
+      for (std::size_t code = 0; code < total; ++code) {
+        std::size_t c = code;
+        for (std::size_t i = 0; i < k; ++i) {
+          asg[i] = static_cast<LatticeElem>(c % l.size());
+          c /= l.size();
+        }
+        LatticeElem ep = *l.Eval(arena, p, asg);
+        LatticeElem eq = *l.Eval(arena, q, asg);
+        if (id) {
+          ASSERT_TRUE(l.Leq(ep, eq))
+              << arena.ToString(p) << " <= " << arena.ToString(q);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WhitmanSoundnessTest, ::testing::Range(0, 4));
+
+// Known non-identities must have a counterexample in some small model.
+TEST(WhitmanCompletenessSpotTest, NonIdentitiesFailInSmallModels) {
+  ExprArena arena;
+  ExprId lhs = *arena.Parse("A*(B+C)");
+  ExprId rhs = *arena.Parse("A*B + A*C");
+  // Distributivity fails in M3: take A, B, C the three atoms.
+  FiniteLattice m3 = FiniteLattice::DiamondM3();
+  std::vector<LatticeElem> asg = {1, 2, 3};
+  LatticeElem l = *m3.Eval(arena, lhs, asg);
+  LatticeElem r = *m3.Eval(arena, rhs, asg);
+  EXPECT_NE(l, r);
+  // And the modular law fails in N5 with x=1 (x), b=3 (z), c=2 (y).
+  FiniteLattice n5 = FiniteLattice::PentagonN5();
+  ExprId ml = *arena.Parse("X + Y*Z");
+  ExprId mr = *arena.Parse("(X+Y)*Z");
+  std::vector<LatticeElem> asg5(arena.num_attrs(), FiniteLattice::kNoElem);
+  asg5[*arena.attr_names().Lookup("X")] = 1;
+  asg5[*arena.attr_names().Lookup("Y")] = 3;
+  asg5[*arena.attr_names().Lookup("Z")] = 2;
+  EXPECT_NE(*n5.Eval(arena, ml, asg5), *n5.Eval(arena, mr, asg5));
+}
+
+}  // namespace
+}  // namespace psem
