@@ -27,6 +27,20 @@ std::vector<Pd> RandomTheory(ExprArena* arena, Rng* rng, int num_attrs,
   return pds;
 }
 
+std::vector<Pd> RandomQueries(ExprArena* arena, Rng* rng, int num_attrs,
+                              int num_queries, int max_ops) {
+  std::vector<Pd> queries;
+  queries.reserve(num_queries);
+  for (int i = 0; i < num_queries; ++i) {
+    ExprId l = RandomExpr(arena, rng, num_attrs,
+                          1 + static_cast<int>(rng->Below(max_ops)));
+    ExprId r = RandomExpr(arena, rng, num_attrs,
+                          1 + static_cast<int>(rng->Below(max_ops)));
+    queries.push_back(rng->Chance(1, 3) ? Pd::Eq(l, r) : Pd::Leq(l, r));
+  }
+  return queries;
+}
+
 std::vector<Fd> RandomFds(Universe* universe, Rng* rng, int num_attrs,
                           int num_fds, int max_lhs) {
   for (int i = 0; i < num_attrs; ++i) {

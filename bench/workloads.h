@@ -24,6 +24,13 @@ ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops);
 std::vector<Pd> RandomTheory(ExprArena* arena, Rng* rng, int num_attrs,
                              int num_pds, int max_ops);
 
+/// A batched implication query stream over the same attribute pool: a mix
+/// of equations and inequalities whose subexpressions partially overlap a
+/// theory drawn from the same (arena, num_attrs) — the workload shape of
+/// BatchImplies and the incremental-closure path.
+std::vector<Pd> RandomQueries(ExprArena* arena, Rng* rng, int num_attrs,
+                              int num_queries, int max_ops);
+
 /// Random FD set over attributes A0..A(num_attrs-1) (interned into the
 /// universe).
 std::vector<Fd> RandomFds(Universe* universe, Rng* rng, int num_attrs,

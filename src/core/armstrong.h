@@ -1,3 +1,6 @@
+/// @file armstrong.h
+/// @brief Armstrong relations: certificates satisfying exactly the implied FDs.
+
 // Armstrong relations for FD theories. An Armstrong relation for Sigma
 // satisfies exactly the FDs Sigma implies — the classical certificate
 // that an FD design is complete (Armstrong [2], cited as the FD

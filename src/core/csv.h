@@ -1,3 +1,6 @@
+/// @file csv.h
+/// @brief CSV import/export for relations.
+
 // CSV import/export for relations — the practical on-ramp for the
 // profiler and CLI: load a table, mine its dependencies, reason about
 // them. Deliberately small: comma separator, optional double-quote

@@ -1,3 +1,6 @@
+/// @file decompose.h
+/// @brief BCNF decomposition, 3NF synthesis, lossless-join and preservation tests.
+
 // Normalization-theory toolkit on top of FdTheory: BCNF decomposition,
 // 3NF synthesis, the lossless-join test (run as a chase over our own
 // tableau machinery — the same chase that decides weak-instance

@@ -1,3 +1,6 @@
+/// @file dot_export.h
+/// @brief Graphviz exporters for Hasse diagrams and proof DAGs.
+
 // Graphviz (DOT) exporters: Hasse diagrams of finite lattices and
 // derivation DAGs of proofs. `dot -Tsvg` renders them; tests check the
 // structural content (nodes, cover edges) rather than pixels.

@@ -1,3 +1,6 @@
+/// @file fd_theory.h
+/// @brief Classical FD reasoning: closure, keys, minimal cover (Section 5.3).
+
 // FD reasoning — the idempotent-commutative-semigroup fragment of PD
 // implication (Section 5.3). FD implication is decided by the classical
 // linear-time attribute-set closure (Beeri–Bernstein [3]); the property

@@ -1,3 +1,6 @@
+/// @file fpd.h
+/// @brief The FD <-> FPD correspondence of Section 4.1.
+
 // The FD <-> FPD correspondence of Section 4.1 and Example f. A
 // functional partition dependency (FPD) is a PD of the form X = X * Y
 // (equivalently Y = Y + X, equivalently X <= Y in the lattice order); by

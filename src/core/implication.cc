@@ -1,13 +1,33 @@
 #include "core/implication.h"
 
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <set>
 
 namespace psem {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+uint64_t PairKey(ExprId e1, ExprId e2) {
+  return (static_cast<uint64_t>(e1) << 32) | e2;
+}
+
+}  // namespace
+
 PdImplicationEngine::PdImplicationEngine(const ExprArena* arena,
-                                         std::vector<Pd> constraints)
-    : arena_(arena), constraints_(std::move(constraints)) {
+                                         std::vector<Pd> constraints,
+                                         EngineOptions options)
+    : arena_(arena), constraints_(std::move(constraints)), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
   for (const Pd& pd : constraints_) {
     AddVertex(pd.lhs);
     AddVertex(pd.rhs);
@@ -35,29 +55,84 @@ void PdImplicationEngine::AddVertex(ExprId e) {
   closure_valid_ = false;
 }
 
+std::size_t PdImplicationEngine::CountArcs() const {
+  std::size_t arcs = 0;
+  for (const DynamicBitset& row : up_) arcs += row.Count();
+  return arcs;
+}
+
 void PdImplicationEngine::ComputeClosure() {
+  const auto closure_start = SteadyClock::now();
   const std::size_t n = vertices_.size();
-  up_.assign(n, DynamicBitset(n));
-  // Rule 1 (generalized): <=_E is reflexive. ALG seeds (A, A) for
-  // attributes only and derives reflexivity of composites via rules 3/4
-  // (resp. 5/2); seeding all vertices is sound and saves passes.
-  for (std::size_t i = 0; i < n; ++i) up_[i].Set(i);
-  // Rule 6: each constraint contributes its arc(s).
-  for (const Pd& pd : constraints_) {
-    uint32_t l = vertex_of_.at(pd.lhs);
-    uint32_t r = vertex_of_.at(pd.rhs);
-    up_[l].Set(r);
-    if (pd.is_equation) up_[r].Set(l);
+
+  // Seed phase. Cold: reflexive arcs everywhere plus the constraint arcs.
+  // (Rule 1 seeds (A, A) for attributes only and derives reflexivity of
+  // composites via rules 3/4, resp. 5/2; seeding all vertices is sound
+  // and saves passes.) Incremental: the previous closure is itself a set
+  // of sound consequences of E (Lemma 9.2), so it is a valid warm start —
+  // old rows are widened in place and only the new vertices get fresh
+  // reflexive rows. Arcs between old vertices are already final and the
+  // fixpoint below only propagates the dirty frontier around the new
+  // vertices.
+  if (closed_vertices_ == 0) {
+    up_.assign(n, DynamicBitset(n));
+    for (std::size_t i = 0; i < n; ++i) up_[i].Set(i);
+    // Rule 6: each constraint contributes its arc(s).
+    for (const Pd& pd : constraints_) {
+      uint32_t l = vertex_of_.at(pd.lhs);
+      uint32_t r = vertex_of_.at(pd.rhs);
+      up_[l].Set(r);
+      if (pd.is_equation) up_[r].Set(l);
+    }
+    ++stats_.cold_closures;
+  } else {
+    for (std::size_t i = 0; i < closed_vertices_; ++i) {
+      up_[i].Resize(n);
+      down_[i].Resize(n);
+    }
+    up_.resize(n);
+    down_.resize(n);
+    for (std::size_t i = closed_vertices_; i < n; ++i) {
+      up_[i] = DynamicBitset(n);
+      up_[i].Set(i);
+      down_[i] = DynamicBitset(n);
+      down_[i].Set(i);
+    }
+    ++stats_.incremental_closures;
+  }
+  stats_.seed_seconds += SecondsSince(closure_start);
+
+  stats_.pass_arc_delta.clear();
+  if (pool_) {
+    // The banded sweep is full-width; a warm start still converges in
+    // fewer passes than a cold one.
+    ParallelFixpoint();
+  } else if (closed_vertices_ > 0) {
+    IncrementalFixpoint(closed_vertices_);
+  } else {
+    SerialFixpoint();
   }
 
-  // Fixpoint over rules 2-5 and 7, alternating row-space (up) and
-  // column-space (down) formulations.
-  std::vector<DynamicBitset> down(n, DynamicBitset(n));
+  closed_vertices_ = n;
+  closure_valid_ = true;
+  stats_.num_vertices = n;
+  stats_.num_arcs = CountArcs();
+  stats_.num_threads = pool_ ? pool_->num_threads() : 1;
+  stats_.closure_seconds += SecondsSince(closure_start);
+}
+
+// Fixpoint over rules 2-5 and 7, alternating row-space (up) and
+// column-space (down) formulations; in-place Gauss-Seidel propagation.
+void PdImplicationEngine::SerialFixpoint() {
+  const std::size_t n = vertices_.size();
+  down_.assign(n, DynamicBitset(n));
   std::size_t passes = 0;
+  std::size_t arcs_before = CountArcs();
   bool changed = true;
   while (changed) {
     changed = false;
     ++passes;
+    auto rules_start = SteadyClock::now();
     // Rule 7 (transitivity), one sweep: up[i] |= up[j] for j in up[i].
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = up_[i].NextSetBit(0); j < n;
@@ -75,39 +150,264 @@ void PdImplicationEngine::ComputeClosure() {
         changed |= up_[m].UnionWithAnd(up_[lhs_[m]], up_[rhs_[m]]);
       }
     }
+    stats_.rules_seconds += SecondsSince(rules_start);
     // Transpose into down.
-    for (std::size_t i = 0; i < n; ++i) down[i].Clear();
+    auto transpose_start = SteadyClock::now();
+    for (std::size_t i = 0; i < n; ++i) down_[i].Clear();
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = up_[i].NextSetBit(0); j < n;
            j = up_[i].NextSetBit(j + 1)) {
-        down[j].Set(i);
+        down_[j].Set(i);
       }
     }
+    stats_.transpose_seconds += SecondsSince(transpose_start);
     // Rule 5: (s, p) or (s, q) => (s, p+q).
     // Rule 4: (s, p) and (s, q) => (s, p*q).
+    rules_start = SteadyClock::now();
     for (std::size_t m = 0; m < n; ++m) {
       if (kind_[m] == ExprKind::kSum) {
-        changed |= down[m].UnionWith(down[lhs_[m]]);
-        changed |= down[m].UnionWith(down[rhs_[m]]);
+        changed |= down_[m].UnionWith(down_[lhs_[m]]);
+        changed |= down_[m].UnionWith(down_[rhs_[m]]);
       } else if (kind_[m] == ExprKind::kProduct) {
-        changed |= down[m].UnionWithAnd(down[lhs_[m]], down[rhs_[m]]);
+        changed |= down_[m].UnionWithAnd(down_[lhs_[m]], down_[rhs_[m]]);
       }
     }
+    stats_.rules_seconds += SecondsSince(rules_start);
     // Transpose back into up.
+    transpose_start = SteadyClock::now();
     for (std::size_t i = 0; i < n; ++i) up_[i].Clear();
     for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t i = down[j].NextSetBit(0); i < n;
-           i = down[j].NextSetBit(i + 1)) {
+      for (std::size_t i = down_[j].NextSetBit(0); i < n;
+           i = down_[j].NextSetBit(i + 1)) {
         up_[i].Set(j);
       }
     }
+    stats_.transpose_seconds += SecondsSince(transpose_start);
+    std::size_t arcs_now = CountArcs();
+    stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
+    arcs_before = arcs_now;
   }
-
-  stats_.num_vertices = n;
   stats_.passes = passes;
-  stats_.num_arcs = 0;
-  for (std::size_t i = 0; i < n; ++i) stats_.num_arcs += up_[i].Count();
-  closure_valid_ = true;
+}
+
+// Banded Jacobi fixpoint: each phase partitions the rows (or columns)
+// into contiguous bands, one worker per band; workers read only a frozen
+// snapshot (`prev`) of the matrix from before the phase and write only
+// rows they own, and the ParallelFor join is the barrier between phases.
+// Snapshot reads mean a sweep may propagate one step "behind" the serial
+// Gauss-Seidel sweep, but every written arc is justified by snapshot
+// arcs, the rules are monotone, and the loop runs until no sweep adds an
+// arc — so it converges to the same least fixpoint (the argument is
+// spelled out in docs/architecture.md).
+void PdImplicationEngine::ParallelFixpoint() {
+  const std::size_t n = vertices_.size();
+  std::vector<DynamicBitset> prev(n, DynamicBitset(n));
+  down_.assign(n, DynamicBitset(n));
+  std::size_t passes = 0;
+  std::size_t arcs_before = CountArcs();
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    ++passes;
+
+    // Snapshot up -> prev.
+    auto transpose_start = SteadyClock::now();
+    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) prev[i] = up_[i];
+    });
+    stats_.transpose_seconds += SecondsSince(transpose_start);
+
+    // Row-space sweep: rule 7 (transitivity) and rules 3/2, reading prev,
+    // writing each worker's own band of up rows.
+    auto rules_start = SteadyClock::now();
+    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      bool local = false;
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = prev[i].NextSetBit(0); j < n;
+             j = prev[i].NextSetBit(j + 1)) {
+          if (j != i) local |= up_[i].UnionWith(prev[j]);
+        }
+        if (kind_[i] == ExprKind::kProduct) {
+          local |= up_[i].UnionWith(prev[lhs_[i]]);
+          local |= up_[i].UnionWith(prev[rhs_[i]]);
+        } else if (kind_[i] == ExprKind::kSum) {
+          local |= up_[i].UnionWithAnd(prev[lhs_[i]], prev[rhs_[i]]);
+        }
+      }
+      if (local) changed.store(true, std::memory_order_relaxed);
+    });
+    stats_.rules_seconds += SecondsSince(rules_start);
+
+    // Transpose up -> down, banded by destination row (= up column), so
+    // every down row has exactly one writer.
+    transpose_start = SteadyClock::now();
+    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) down_[j].Clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = up_[i].NextSetBit(lo); j < hi;
+             j = up_[i].NextSetBit(j + 1)) {
+          down_[j].Set(i);
+        }
+      }
+    });
+    // Snapshot down -> prev.
+    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) prev[i] = down_[i];
+    });
+    stats_.transpose_seconds += SecondsSince(transpose_start);
+
+    // Column-space sweep: rules 5/4 on down, reading the snapshot.
+    rules_start = SteadyClock::now();
+    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      bool local = false;
+      for (std::size_t m = lo; m < hi; ++m) {
+        if (kind_[m] == ExprKind::kSum) {
+          local |= down_[m].UnionWith(prev[lhs_[m]]);
+          local |= down_[m].UnionWith(prev[rhs_[m]]);
+        } else if (kind_[m] == ExprKind::kProduct) {
+          local |= down_[m].UnionWithAnd(prev[lhs_[m]], prev[rhs_[m]]);
+        }
+      }
+      if (local) changed.store(true, std::memory_order_relaxed);
+    });
+    stats_.rules_seconds += SecondsSince(rules_start);
+
+    // Transpose down -> up, banded by up row.
+    transpose_start = SteadyClock::now();
+    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) up_[i].Clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = down_[j].NextSetBit(lo); i < hi;
+             i = down_[j].NextSetBit(i + 1)) {
+          up_[i].Set(j);
+        }
+      }
+    });
+    stats_.transpose_seconds += SecondsSince(transpose_start);
+
+    std::size_t arcs_now = CountArcs();
+    stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
+    arcs_before = arcs_now;
+  }
+  stats_.passes = passes;
+}
+
+// Frontier-restricted fixpoint for warm starts. Vertices [0, old_n)
+// carry a finished closure, and by Lemma 9.2 (V-independence of "E |=
+// e <= e'") every rule instance whose conclusion is an old-old arc is
+// already satisfied — the old closure contains all implied arcs over the
+// old vertices no matter how V grows. The only arc positions that can
+// change are: new rows (full width), and the new-column tails of old
+// rows. Each sweep therefore touches new rows at full width and old rows
+// only from bit old_n on, which costs O(arcs * tail_words) instead of
+// O(arcs * n / 64); the per-pass transposes shrink the same way. Rules
+// 3/2 (resp. 5/4) on an old composite row read only its children's rows,
+// and children of old vertices are always old (AddVertex interns
+// children first), so the tail-restricted unions see every premise they
+// need. down_ == transpose(up_) holds again on exit.
+void PdImplicationEngine::IncrementalFixpoint(std::size_t old_n) {
+  const std::size_t n = vertices_.size();
+  std::size_t passes = 0;
+  std::size_t arcs_before = CountArcs();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++passes;
+
+    // Row-space sweep. New rows: rule 7 (transitivity) and rules 3/2 at
+    // full width.
+    auto rules_start = SteadyClock::now();
+    for (std::size_t i = old_n; i < n; ++i) {
+      for (std::size_t j = up_[i].NextSetBit(0); j < n;
+           j = up_[i].NextSetBit(j + 1)) {
+        if (j != i) changed |= up_[i].UnionWith(up_[j]);
+      }
+      if (kind_[i] == ExprKind::kProduct) {
+        changed |= up_[i].UnionWith(up_[lhs_[i]]);
+        changed |= up_[i].UnionWith(up_[rhs_[i]]);
+      } else if (kind_[i] == ExprKind::kSum) {
+        changed |= up_[i].UnionWithAnd(up_[lhs_[i]], up_[rhs_[i]]);
+      }
+    }
+    // Old rows: same rules, but only the tail (bits >= old_n) may grow.
+    for (std::size_t i = 0; i < old_n; ++i) {
+      for (std::size_t j = up_[i].NextSetBit(0); j < n;
+           j = up_[i].NextSetBit(j + 1)) {
+        if (j != i) changed |= up_[i].UnionWithFrom(up_[j], old_n);
+      }
+      if (kind_[i] == ExprKind::kProduct) {
+        changed |= up_[i].UnionWithFrom(up_[lhs_[i]], old_n);
+        changed |= up_[i].UnionWithFrom(up_[rhs_[i]], old_n);
+      } else if (kind_[i] == ExprKind::kSum) {
+        changed |= up_[i].UnionWithAndFrom(up_[lhs_[i]], up_[rhs_[i]], old_n);
+      }
+    }
+    stats_.rules_seconds += SecondsSince(rules_start);
+
+    // Resync the mutable region of down_ with up_. The old-old block of
+    // down_ is final and untouched; only old-row tails and new rows are
+    // rebuilt.
+    auto transpose_start = SteadyClock::now();
+    for (std::size_t j = 0; j < old_n; ++j) down_[j].ClearFrom(old_n);
+    for (std::size_t j = old_n; j < n; ++j) down_[j].Clear();
+    for (std::size_t i = old_n; i < n; ++i) {
+      for (std::size_t j = up_[i].NextSetBit(0); j < n;
+           j = up_[i].NextSetBit(j + 1)) {
+        down_[j].Set(i);
+      }
+    }
+    for (std::size_t i = 0; i < old_n; ++i) {
+      for (std::size_t j = up_[i].NextSetBit(old_n); j < n;
+           j = up_[i].NextSetBit(j + 1)) {
+        down_[j].Set(i);
+      }
+    }
+    stats_.transpose_seconds += SecondsSince(transpose_start);
+
+    // Column-space sweep: rules 5/4, new down rows at full width, old
+    // down rows tail-only.
+    rules_start = SteadyClock::now();
+    for (std::size_t m = old_n; m < n; ++m) {
+      if (kind_[m] == ExprKind::kSum) {
+        changed |= down_[m].UnionWith(down_[lhs_[m]]);
+        changed |= down_[m].UnionWith(down_[rhs_[m]]);
+      } else if (kind_[m] == ExprKind::kProduct) {
+        changed |= down_[m].UnionWithAnd(down_[lhs_[m]], down_[rhs_[m]]);
+      }
+    }
+    for (std::size_t m = 0; m < old_n; ++m) {
+      if (kind_[m] == ExprKind::kSum) {
+        changed |= down_[m].UnionWithFrom(down_[lhs_[m]], old_n);
+        changed |= down_[m].UnionWithFrom(down_[rhs_[m]], old_n);
+      } else if (kind_[m] == ExprKind::kProduct) {
+        changed |=
+            down_[m].UnionWithAndFrom(down_[lhs_[m]], down_[rhs_[m]], old_n);
+      }
+    }
+    stats_.rules_seconds += SecondsSince(rules_start);
+
+    // Scatter the down-side additions back into up_ (bits already set
+    // are no-ops, so no change tracking is needed here).
+    transpose_start = SteadyClock::now();
+    for (std::size_t m = old_n; m < n; ++m) {
+      for (std::size_t i = down_[m].NextSetBit(0); i < n;
+           i = down_[m].NextSetBit(i + 1)) {
+        up_[i].Set(m);
+      }
+    }
+    for (std::size_t m = 0; m < old_n; ++m) {
+      for (std::size_t i = down_[m].NextSetBit(old_n); i < n;
+           i = down_[m].NextSetBit(i + 1)) {
+        up_[i].Set(m);
+      }
+    }
+    stats_.transpose_seconds += SecondsSince(transpose_start);
+
+    std::size_t arcs_now = CountArcs();
+    stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
+    arcs_before = arcs_now;
+  }
+  stats_.passes = passes;
 }
 
 void PdImplicationEngine::Prepare(const std::vector<ExprId>& exprs) {
@@ -123,16 +423,102 @@ bool PdImplicationEngine::LeqInClosure(ExprId e1, ExprId e2) const {
   return up_[i->second].Test(j->second);
 }
 
+bool PdImplicationEngine::CacheLookup(ExprId e1, ExprId e2, bool* verdict) {
+  if (options_.cache_capacity == 0) return false;
+  ++stats_.cache_lookups;
+  auto it = cache_.find(PairKey(e1, e2));
+  if (it == cache_.end()) return false;
+  ++stats_.cache_hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most-recently used
+  *verdict = it->second->second;
+  return true;
+}
+
+void PdImplicationEngine::CacheInsert(ExprId e1, ExprId e2, bool verdict) {
+  if (options_.cache_capacity == 0) return;
+  uint64_t key = PairKey(e1, e2);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = verdict;
+    return;
+  }
+  if (lru_.size() >= options_.cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, verdict);
+  cache_.emplace(key, lru_.begin());
+}
+
+bool PdImplicationEngine::LeqWithCache(ExprId e1, ExprId e2) {
+  bool verdict;
+  if (CacheLookup(e1, e2, &verdict)) return verdict;
+  verdict = LeqInClosure(e1, e2);
+  CacheInsert(e1, e2, verdict);
+  return verdict;
+}
+
 bool PdImplicationEngine::ImpliesLeq(ExprId e1, ExprId e2) {
+  bool verdict;
+  if (CacheLookup(e1, e2, &verdict)) return verdict;
   Prepare({e1, e2});
-  return LeqInClosure(e1, e2);
+  return LeqWithCache(e1, e2);
 }
 
 bool PdImplicationEngine::Implies(const Pd& query) {
+  // Cache fast path. Cached verdicts are V-independent (Lemma 9.2), so a
+  // hit avoids extending V and re-closing even for never-seen queries.
+  bool fwd;
+  if (CacheLookup(query.lhs, query.rhs, &fwd)) {
+    if (!fwd) return false;
+    if (!query.is_equation) return true;
+    bool bwd;
+    if (CacheLookup(query.rhs, query.lhs, &bwd)) return bwd;
+  }
   Prepare({query.lhs, query.rhs});
-  bool fwd = LeqInClosure(query.lhs, query.rhs);
-  if (!query.is_equation) return fwd;
-  return fwd && LeqInClosure(query.rhs, query.lhs);
+  bool f = LeqWithCache(query.lhs, query.rhs);
+  if (!query.is_equation) return f;
+  return f && LeqWithCache(query.rhs, query.lhs);
+}
+
+std::vector<bool> PdImplicationEngine::BatchImplies(
+    std::span<const Pd> queries) {
+  std::vector<bool> out(queries.size(), false);
+  // Pass 1: answer what the cache can; register the vertices of every
+  // remaining query so the closure below is computed exactly once for
+  // the whole batch.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Pd& q = queries[i];
+    bool fwd;
+    if (CacheLookup(q.lhs, q.rhs, &fwd)) {
+      if (!fwd) continue;  // out[i] stays false
+      if (!q.is_equation) {
+        out[i] = true;
+        continue;
+      }
+      bool bwd;
+      if (CacheLookup(q.rhs, q.lhs, &bwd)) {
+        out[i] = bwd;
+        continue;
+      }
+    }
+    AddVertex(q.lhs);
+    AddVertex(q.rhs);
+    pending.push_back(i);
+  }
+  // Pass 2: one shared (incremental) closure, then O(1) bit tests.
+  // Duplicate queries in the batch resolve through the cache.
+  if (!pending.empty()) {
+    if (!closure_valid_) ComputeClosure();
+    for (std::size_t i : pending) {
+      const Pd& q = queries[i];
+      bool f = LeqWithCache(q.lhs, q.rhs);
+      out[i] = q.is_equation ? (f && LeqWithCache(q.rhs, q.lhs)) : f;
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,3 +1,6 @@
+/// @file implication.h
+/// @brief Algorithm ALG: PD implication as arc-digraph closure (Section 5.2), with parallel, incremental, and batched service layers.
+
 // PD implication — the uniform word problem for lattices (Section 5).
 //
 // Given a finite set E of PDs and a query PD delta, Theorem 8 shows the
@@ -10,37 +13,103 @@
 //
 // PdImplicationEngine implements ALG with bit-parallel row operations on
 // the arc matrix (a straightforward implementation is O(n^4); the bitset
-// representation divides the constant by 64). NaivePdImplication applies
-// the seven rules literally, arc by arc, as a slow reference for
-// differential tests.
+// representation divides the constant by 64), three service-layer
+// extensions on top (see docs/architecture.md for the full correctness
+// arguments):
+//
+//  * Parallel closure. With EngineOptions::num_threads > 1 the fixpoint
+//    runs Jacobi-style: each worker owns a contiguous band of Gamma's
+//    bitset rows, every sweep reads a frozen snapshot of the previous
+//    frontier and writes only its own rows, and sweeps are separated by a
+//    ThreadPool barrier. Because the seven rules are monotone (arcs are
+//    only ever added) and every write is justified by snapshot arcs, the
+//    parallel loop converges to the same least fixpoint as the serial one.
+//
+//  * Incremental closure. Lemma 9.2 identifies "arc (e, e') in the closed
+//    Gamma" with the V-independent relation E |= e <= e'; hence arcs
+//    between existing vertices never change when V grows. Prepare/Implies
+//    with new subexpressions therefore extends the rows in place and
+//    re-closes from the previous closure as a warm start (only the dirty
+//    frontier propagates) instead of restarting from the seed arcs.
+//
+//  * Batched queries. BatchImplies answers a whole query span against one
+//    shared closure, and an LRU cache keyed on interned (ExprId, ExprId)
+//    pairs memoizes verdicts across calls; by the same V-independence the
+//    cache never needs invalidation for a fixed E.
+//
+// NaivePdImplication applies the seven rules literally, arc by arc, as a
+// slow reference for differential tests.
+//
+// Thread-compatibility: const methods (LeqInClosure, stats, ...) are safe
+// to call concurrently once Prepare has returned; the mutating entry
+// points (Implies, BatchImplies, Prepare) must be externally serialized.
 
 #ifndef PSEM_CORE_IMPLICATION_H_
 #define PSEM_CORE_IMPLICATION_H_
 
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "lattice/expr.h"
 #include "util/bitset.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace psem {
 
-/// Counters from the most recent closure computation.
+/// Counters from the engine's closure computations and query cache.
 struct AlgStats {
   std::size_t num_vertices = 0;  ///< |V|: distinct subexpressions.
   std::size_t num_arcs = 0;      ///< arcs in the final Gamma.
-  std::size_t passes = 0;        ///< fixpoint sweeps over the rules.
+  std::size_t passes = 0;        ///< fixpoint sweeps of the last closure.
+
+  /// Arcs added by each sweep of the most recent closure (index = pass).
+  std::vector<std::size_t> pass_arc_delta;
+
+  // Wall-clock seconds per phase, accumulated over the engine's lifetime.
+  double seed_seconds = 0.0;       ///< seeding reflexive + constraint arcs.
+  double rules_seconds = 0.0;      ///< arc-rule sweeps (rules 2-5, 7).
+  double transpose_seconds = 0.0;  ///< row/column transposes + snapshots.
+  double closure_seconds = 0.0;    ///< total time inside ComputeClosure.
+
+  std::size_t cold_closures = 0;         ///< closures computed from seed.
+  std::size_t incremental_closures = 0;  ///< closures warm-started.
+
+  std::size_t cache_lookups = 0;  ///< LRU probes.
+  std::size_t cache_hits = 0;     ///< LRU probes answered.
+
+  std::size_t num_threads = 1;  ///< workers used by the closure sweeps.
+
+  double CacheHitRate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+/// Tuning knobs for PdImplicationEngine.
+struct EngineOptions {
+  /// Workers for the closure fixpoint. 1 (default) keeps the serial
+  /// Gauss-Seidel sweep; >1 switches to the banded Jacobi sweep.
+  std::size_t num_threads = 1;
+  /// Capacity of the LRU query cache ((ExprId, ExprId) -> bool).
+  /// 0 disables caching.
+  std::size_t cache_capacity = 1024;
 };
 
 /// Decides E |= e = e' / e <= e' by Algorithm ALG. Queries may introduce
-/// new subexpressions; the engine extends V and recomputes the closure
-/// lazily when that happens.
+/// new subexpressions; the engine extends V and re-closes incrementally
+/// when that happens.
 class PdImplicationEngine {
  public:
   /// The engine keeps a pointer to `arena`; it must outlive the engine.
-  PdImplicationEngine(const ExprArena* arena, std::vector<Pd> constraints);
+  PdImplicationEngine(const ExprArena* arena, std::vector<Pd> constraints,
+                      EngineOptions options = {});
 
   /// E |=_lat query — equivalently |=_fin, |=_rel, |=_rel,fin (Theorem 8).
   bool Implies(const Pd& query);
@@ -48,24 +117,54 @@ class PdImplicationEngine {
   /// E |= e <= e'.
   bool ImpliesLeq(ExprId e1, ExprId e2);
 
+  /// Answers every query in `queries` against one shared closure: new
+  /// subexpressions across the whole batch are added to V first, the
+  /// closure is (re)computed once, and duplicate queries are answered
+  /// from the cache. out[i] corresponds to queries[i].
+  std::vector<bool> BatchImplies(std::span<const Pd> queries);
+
   /// Ensures all of `exprs` are vertices of V and the closure is current.
   /// After this, LeqInClosure may be used for any pair of them.
   void Prepare(const std::vector<ExprId>& exprs);
 
   /// Arc lookup in the computed closure. Both expressions must have been
-  /// passed to Prepare (or appear in the constraints).
+  /// passed to Prepare (or appear in the constraints). Safe to call from
+  /// several threads concurrently (pure read).
   bool LeqInClosure(ExprId e1, ExprId e2) const;
 
   const AlgStats& stats() const { return stats_; }
   const std::vector<Pd>& constraints() const { return constraints_; }
   const ExprArena& arena() const { return *arena_; }
+  const EngineOptions& options() const { return options_; }
 
  private:
   void AddVertex(ExprId e);
   void ComputeClosure();
+  // Runs the fixpoint over rules 2-5 and 7 starting from the current up_
+  // state (seed arcs or a previous closure) until no sweep adds an arc.
+  // All three leave down_ == transpose(up_) on exit.
+  void SerialFixpoint();
+  void ParallelFixpoint();
+  // Frontier-restricted fixpoint for the incremental case: vertices
+  // [0, old_n) carry a finished closure whose old-old arcs are final
+  // (Lemma 9.2), so sweeps touch only new rows (full width) and the
+  // new-column tails of old rows. See docs/architecture.md.
+  void IncrementalFixpoint(std::size_t old_n);
+  std::size_t CountArcs() const;
+
+  // LRU query cache over packed (e1, e2) keys. Verdicts stay valid across
+  // closure growth (Lemma 9.2 makes them V-independent), so entries are
+  // only evicted, never invalidated.
+  bool CacheLookup(ExprId e1, ExprId e2, bool* verdict);
+  void CacheInsert(ExprId e1, ExprId e2, bool verdict);
+  // LeqInClosure with cache fill; requires a current closure covering
+  // both vertices.
+  bool LeqWithCache(ExprId e1, ExprId e2);
 
   const ExprArena* arena_;
   std::vector<Pd> constraints_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // created iff num_threads > 1
 
   std::vector<ExprId> vertices_;                    // index -> ExprId
   std::unordered_map<ExprId, uint32_t> vertex_of_;  // ExprId -> index
@@ -76,8 +175,19 @@ class PdImplicationEngine {
 
   // up_[i] bit j set <=> arc (i, j) in Gamma, i.e. i <=_E j.
   std::vector<DynamicBitset> up_;
+  // Column view: down_[j] bit i set <=> arc (i, j). Kept equal to the
+  // transpose of up_ whenever closure_valid_; the incremental fixpoint
+  // warm-starts from both matrices.
+  std::vector<DynamicBitset> down_;
   bool closure_valid_ = false;
+  // Number of vertices covered by the last completed closure; rows beyond
+  // it are not yet seeded. 0 means no closure has ever been computed.
+  std::size_t closed_vertices_ = 0;
   AlgStats stats_;
+
+  std::list<std::pair<uint64_t, bool>> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, bool>>::iterator>
+      cache_;
 };
 
 /// Literal transcription of ALG (Section 5.2): a worklist of arcs, the

@@ -1,3 +1,6 @@
+/// @file io.h
+/// @brief Plain-text loaders/dumpers for databases and dependency sets.
+
 // Plain-text loaders and dumpers for databases and dependency sets, so
 // the CLI and downstream tools can round-trip inputs without bespoke
 // parsers.

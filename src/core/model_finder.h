@@ -1,3 +1,6 @@
+/// @file model_finder.h
+/// @brief Bounded countermodel search for non-implied PDs.
+
 // Bounded model finding for partition dependencies. Theorem 8 makes PD
 // implication equivalent to validity over finite lattices, and every
 // finite lattice embeds into a finite partition lattice [Pudlak & Tuma],

@@ -1,3 +1,6 @@
+/// @file normalize.h
+/// @brief The Section 6.2 PD normalization pipeline behind Theorem 12.
+
 // The PD normalization pipeline of Section 6.2, the preprocessing behind
 // the polynomial consistency test (Theorem 12):
 //

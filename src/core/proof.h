@@ -1,3 +1,6 @@
+/// @file proof.h
+/// @brief Checkable derivations over the seven arc rules of ALG.
+
 // Proof extraction for PD implication. Algorithm ALG (Section 5.2) is a
 // saturation procedure: every arc it adds is justified by one of seven
 // rules. This module re-runs the saturation with provenance tracking and

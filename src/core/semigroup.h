@@ -1,3 +1,6 @@
+/// @file semigroup.h
+/// @brief The semilattice word problem: Section 5.3 FD implication.
+
 // The uniform word problem for idempotent commutative semigroups
 // (semilattices) — Section 5.3's algebraic identity for FD implication.
 // Product-only partition expressions are, up to the semigroup axioms,

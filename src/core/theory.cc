@@ -10,12 +10,28 @@ Status PdTheory::AddParsed(std::string_view text) {
 
 PdImplicationEngine& PdTheory::engine() {
   if (!engine_) {
-    engine_ = std::make_unique<PdImplicationEngine>(arena_.get(), pds_);
+    engine_ = std::make_unique<PdImplicationEngine>(arena_.get(), pds_,
+                                                    engine_options_);
   }
   return *engine_;
 }
 
 bool PdTheory::Implies(const Pd& query) { return engine().Implies(query); }
+
+std::vector<bool> PdTheory::BatchImplies(std::span<const Pd> queries) {
+  return engine().BatchImplies(queries);
+}
+
+Result<std::vector<bool>> PdTheory::BatchImpliesParsed(
+    std::span<const std::string> texts) {
+  std::vector<Pd> queries;
+  queries.reserve(texts.size());
+  for (const std::string& text : texts) {
+    PSEM_ASSIGN_OR_RETURN(Pd pd, arena_->ParsePd(text));
+    queries.push_back(pd);
+  }
+  return BatchImplies(queries);
+}
 
 Result<bool> PdTheory::ImpliesParsed(std::string_view text) {
   PSEM_ASSIGN_OR_RETURN(Pd pd, arena_->ParsePd(text));

@@ -1,3 +1,6 @@
+/// @file theory.h
+/// @brief PdTheory, the library facade for PD reasoning.
+
 // PdTheory: the library's main facade. Owns an expression arena and a set
 // of partition dependencies; answers implication queries (Algorithm ALG,
 // Theorem 9), identity queries (Whitman rules, Theorem 10), and
@@ -8,6 +11,7 @@
 #define PSEM_CORE_THEORY_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,10 +51,27 @@ class PdTheory {
 
   const std::vector<Pd>& pds() const { return pds_; }
 
+  /// Engine tuning (closure parallelism, query-cache size). Takes effect
+  /// on the next engine (re)build; call before the first query for full
+  /// effect.
+  void SetEngineOptions(const EngineOptions& options) {
+    engine_options_ = options;
+    engine_.reset();
+  }
+
   /// E |= query over lattices = over finite lattices = over relations =
   /// over finite relations (Theorem 8), decided in polynomial time
   /// (Theorem 9).
   bool Implies(const Pd& query);
+
+  /// Answers a whole batch of queries against one shared closure (new
+  /// subexpressions are added once, duplicates resolve via the engine's
+  /// LRU cache). out[i] corresponds to queries[i].
+  std::vector<bool> BatchImplies(std::span<const Pd> queries);
+
+  /// Parses every query, then calls BatchImplies.
+  Result<std::vector<bool>> BatchImpliesParsed(
+      std::span<const std::string> texts);
 
   /// Parses the query and calls Implies.
   Result<bool> ImpliesParsed(std::string_view text);
@@ -89,6 +110,7 @@ class PdTheory {
  private:
   std::unique_ptr<ExprArena> arena_;
   std::vector<Pd> pds_;
+  EngineOptions engine_options_;
   std::unique_ptr<PdImplicationEngine> engine_;
 };
 

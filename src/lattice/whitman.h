@@ -14,6 +14,13 @@
 //                       small frame per recursion level. Peak depth is
 //                       reported so benchmarks can verify the O(tree depth)
 //                       space shape that underlies the logspace bound.
+//
+// Thread compatibility: WhitmanMemo::Leq mutates the shared memo table, so
+// a WhitmanMemo instance must not be shared across threads without external
+// synchronization (use one instance per thread). WhitmanIterative::Leq is
+// const and keeps all state in locals, so a single const instance may be
+// shared freely by concurrent readers (over an arena that is no longer
+// being mutated) — it is the decider of choice inside parallel sweeps.
 
 #ifndef PSEM_LATTICE_WHITMAN_H_
 #define PSEM_LATTICE_WHITMAN_H_

@@ -1,3 +1,6 @@
+/// @file canonical.h
+/// @brief Canonical constructions I(r) and R(I) of Section 4.1.
+
 // The canonical constructions of Section 4.1: I(r), the partition
 // interpretation induced by a relation (Definition 5), and R(I), the
 // relation induced by an interpretation (Definition 6). These are the

@@ -1,3 +1,6 @@
+/// @file interpretation.h
+/// @brief Partition interpretations (Definition 1) and satisfaction.
+
 // Partition interpretations (Definition 1): for each attribute A, a
 // population p_A, an atomic partition pi_A of p_A, and a naming function
 // f_A mapping each data symbol to a distinct block of pi_A or to the empty

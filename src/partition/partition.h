@@ -1,3 +1,6 @@
+/// @file partition.h
+/// @brief Sparse set-theoretic partitions with product and sum (Section 3.1).
+
 // Set-theoretic partitions over sparse populations (Section 3.1). A
 // Partition is a family of nonempty disjoint blocks whose union is its
 // population. The two operations of Definition 1's surrounding text are

@@ -1,3 +1,6 @@
+/// @file partition_lattice.h
+/// @brief L(I): atomic partitions closed under * and + (Theorem 1).
+
 // L(I): the closure of an interpretation's atomic partitions under product
 // and sum, materialized as an explicit FiniteLattice (Theorem 1). Also
 // provides the full partition lattice Pi_k of a k-element set, used both

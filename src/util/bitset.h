@@ -42,6 +42,15 @@ class DynamicBitset {
     for (auto& w : words_) w = 0;
   }
 
+  /// Changes the universe to {0, ..., new_bits-1}. Growing preserves all
+  /// bits (new positions start clear); shrinking drops the tail. Used by
+  /// the incremental ALG closure when V gains vertices.
+  void Resize(std::size_t new_bits) {
+    num_bits_ = new_bits;
+    words_.resize((new_bits + 63) / 64, 0);
+    TrimTail();
+  }
+
   void SetAll() {
     for (auto& w : words_) w = ~uint64_t{0};
     TrimTail();
@@ -82,6 +91,49 @@ class DynamicBitset {
       uint64_t before = words_[k];
       words_[k] |= (a.words_[k] & b.words_[k]);
       changed |= (words_[k] != before);
+    }
+    return changed;
+  }
+
+  /// Clears every bit at position >= `from` (bit-exact at the boundary).
+  void ClearFrom(std::size_t from) {
+    if (from >= num_bits_) return;
+    std::size_t word = from >> 6;
+    words_[word] &= (uint64_t{1} << (from & 63)) - 1;
+    for (std::size_t k = word + 1; k < words_.size(); ++k) words_[k] = 0;
+  }
+
+  /// In-place union restricted to bits at position >= `from`; returns
+  /// true iff this changed. Used by the incremental ALG closure, where
+  /// only the new-vertex tail of an old row may legally change.
+  bool UnionWithFrom(const DynamicBitset& other, std::size_t from) {
+    assert(num_bits_ == other.num_bits_);
+    if (from >= num_bits_) return false;
+    bool changed = false;
+    std::size_t word = from >> 6;
+    uint64_t mask = ~((uint64_t{1} << (from & 63)) - 1);
+    for (std::size_t k = word; k < words_.size(); ++k) {
+      uint64_t before = words_[k];
+      words_[k] |= other.words_[k] & mask;
+      changed |= (words_[k] != before);
+      mask = ~uint64_t{0};
+    }
+    return changed;
+  }
+
+  /// In-place union with (a AND b), restricted to bits >= `from`.
+  bool UnionWithAndFrom(const DynamicBitset& a, const DynamicBitset& b,
+                        std::size_t from) {
+    assert(num_bits_ == a.num_bits_ && num_bits_ == b.num_bits_);
+    if (from >= num_bits_) return false;
+    bool changed = false;
+    std::size_t word = from >> 6;
+    uint64_t mask = ~((uint64_t{1} << (from & 63)) - 1);
+    for (std::size_t k = word; k < words_.size(); ++k) {
+      uint64_t before = words_[k];
+      words_[k] |= (a.words_[k] & b.words_[k]) & mask;
+      changed |= (words_[k] != before);
+      mask = ~uint64_t{0};
     }
     return changed;
   }

@@ -156,6 +156,70 @@ TEST(BitsetTest, NextSetBitAndForEach) {
   EXPECT_EQ(b.NextSetBit(200), 200u);
 }
 
+TEST(BitsetTest, ResizeGrowPreservesAndShrinkDrops) {
+  DynamicBitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(69);
+  b.Resize(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.Count(), 3u);  // new positions start clear
+  b.Set(199);
+  b.Resize(64);
+  EXPECT_EQ(b.Count(), 2u);  // 69 and 199 dropped
+  b.Resize(128);
+  EXPECT_FALSE(b.Test(69));  // dropped bits do not resurrect
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 128u);
+}
+
+TEST(BitsetTest, ClearFromIsBitExact) {
+  for (std::size_t from : {0u, 1u, 63u, 64u, 65u, 129u, 130u}) {
+    DynamicBitset b(130);
+    b.SetAll();
+    b.ClearFrom(from);
+    EXPECT_EQ(b.Count(), from) << "from=" << from;
+    if (from > 0) EXPECT_TRUE(b.Test(from - 1));
+    if (from < 130) EXPECT_FALSE(b.Test(from));
+  }
+}
+
+TEST(BitsetTest, UnionWithFromRestrictsToTail) {
+  for (std::size_t from : {0u, 1u, 63u, 64u, 65u, 100u, 130u}) {
+    DynamicBitset dst(130), src(130);
+    src.SetAll();
+    DynamicBitset want = dst;
+    for (std::size_t i = from; i < 130; ++i) want.Set(i);
+    bool changed = dst.UnionWithFrom(src, from);
+    EXPECT_EQ(dst, want) << "from=" << from;
+    EXPECT_EQ(changed, from < 130) << "from=" << from;
+    EXPECT_FALSE(dst.UnionWithFrom(src, from));  // idempotent => unchanged
+  }
+}
+
+TEST(BitsetTest, UnionWithAndFromMatchesIntersectThenUnion) {
+  DynamicBitset a(130), b(130);
+  for (std::size_t i = 0; i < 130; i += 3) a.Set(i);
+  for (std::size_t i = 0; i < 130; i += 2) b.Set(i);
+  for (std::size_t from : {0u, 5u, 64u, 65u, 128u}) {
+    DynamicBitset got(130);
+    got.UnionWithAndFrom(a, b, from);
+    DynamicBitset want = a;
+    want.IntersectWith(b);
+    want.ClearFrom(130);
+    DynamicBitset head = want;  // reference: (a & b) restricted to >= from
+    want.Clear();
+    for (std::size_t i = head.NextSetBit(from); i < 130;
+         i = head.NextSetBit(i + 1)) {
+      want.Set(i);
+    }
+    EXPECT_EQ(got, want) << "from=" << from;
+  }
+}
+
 TEST(BitsetTest, EqualityAndHash) {
   DynamicBitset a(66), b(66);
   a.Set(65);
