@@ -19,10 +19,23 @@
 //   show                    print E and the database
 //   help / quit
 //
+// Flags:
+//   --deadline-ms <n>   per-command wall-clock budget; a command that
+//                       exceeds it reports "undecided: ..." with partial
+//                       stats instead of running unbounded
+//   --max-arcs <n>      arc budget for the ALG closure (memory proxy)
+//
+// The process exit code distinguishes outcomes (see ExitCodeFor):
+// 0 ok, 2 invalid input, 6 resource budget exhausted, 7 inconsistent
+// verdict, 9 cancelled, 1 reserved for non-Status failures (e.g. an
+// unreadable script file). With multiple failing commands in one script,
+// the LAST error wins.
+//
 // Run: ./build/examples/psem_cli   (then type commands)
 //      echo "pd A <= B\nimplies A*C <= B*C" | ./build/examples/psem_cli
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -39,9 +52,33 @@ struct Session {
   ExprArena arena;
   std::vector<Pd> pds;
   Database db;
+  uint64_t deadline_ms = 0;  // 0 = no deadline
+  uint64_t max_arcs = 0;     // 0 = no arc budget
+  Status last_error;         // drives the process exit code
+
+  // Fresh context per command: the deadline is relative to the command's
+  // start, not the session's.
+  ExecContext Ctx() const {
+    ExecContext ctx;
+    if (deadline_ms > 0) ctx.WithTimeout(std::chrono::milliseconds(deadline_ms));
+    if (max_arcs > 0) ctx.WithMaxArcs(max_arcs);
+    return ctx;
+  }
 
   void ShowStatusError(const Status& st) {
     std::printf("error: %s\n", st.ToString().c_str());
+    last_error = st;
+  }
+
+  // Partial-stats-on-timeout contract: even an aborted closure reports
+  // how far it got (docs/robustness.md).
+  void ShowUndecided(const Status& st, const AlgStats& stats) {
+    std::printf("undecided: %s\n", st.message().c_str());
+    std::printf("  partial stats: |V| = %zu, arcs = %zu, passes = %zu, "
+                "aborted closures = %zu\n",
+                stats.num_vertices, stats.num_arcs, stats.passes,
+                stats.aborted_closures);
+    last_error = st;
   }
 
   void Handle(const std::string& raw) {
@@ -75,7 +112,11 @@ struct Session {
       auto pd = arena.ParsePd(rest_after(8));
       if (!pd.ok()) return ShowStatusError(pd.status());
       PdImplicationEngine engine(&arena, pds);
-      std::printf("%s\n", engine.Implies(*pd) ? "implied" : "not implied");
+      auto verdict = engine.Implies(*pd, Ctx());
+      if (!verdict.ok()) {
+        return ShowUndecided(verdict.status(), engine.stats());
+      }
+      std::printf("%s\n", *verdict ? "implied" : "not implied");
     } else if (starts("explain ")) {
       auto pd = arena.ParsePd(rest_after(8));
       if (!pd.ok()) return ShowStatusError(pd.status());
@@ -162,14 +203,28 @@ struct Session {
       std::printf("L(I(%s)): %s\n", r.schema().name.c_str(),
                   Summarize(closure->lattice).c_str());
     } else if (line == "consistent") {
-      auto report = PdConsistent(&db, arena, pds);
-      if (!report.ok()) return ShowStatusError(report.status());
+      auto report = PdConsistent(&db, arena, pds, Ctx());
+      if (!report.ok()) {
+        // Keep "undecided: budget" visibly distinct from the
+        // INCONSISTENT verdict below.
+        if (report.status().code() == StatusCode::kResourceExhausted ||
+            report.status().code() == StatusCode::kCancelled) {
+          std::printf("undecided: %s\n", report.status().message().c_str());
+          last_error = report.status();
+          return;
+        }
+        return ShowStatusError(report.status());
+      }
+      if (!report->consistent) {
+        last_error = Status::Inconsistent("database inconsistent with E");
+      }
       std::printf("%s (|F| = %zu, sum-uppers = %zu, chase rounds = %zu)\n",
                   report->consistent ? "consistent" : "INCONSISTENT",
                   report->num_fpds, report->num_sum_uppers,
                   report->chase_rounds);
     } else if (line == "materialize") {
-      auto m = MaterializeWeakInstance(&db, arena, pds);
+      auto m = MaterializeWeakInstance(&db, arena, pds, /*max_rounds=*/64,
+                                       Ctx());
       if (!m.ok()) return ShowStatusError(m.status());
       std::printf("weak instance (%zu rows, %zu repairs):\n%s",
                   m->instance.size(), m->added_tuples,
@@ -186,7 +241,7 @@ struct Session {
           "          relation, row, csvfile, discover, query, analyze,\n"
           "          consistent, materialize, show, quit\n");
     } else if (line == "quit" || line == "exit") {
-      std::exit(0);
+      std::exit(ExitCodeFor(last_error.code()));
     } else {
       std::printf("unknown command (try 'help'): %s\n",
                   std::string(line).c_str());
@@ -198,17 +253,61 @@ struct Session {
 
 int main(int argc, char** argv) {
   Session session;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto flag_value = [&](std::string_view name,
+                          uint64_t* out) -> bool {  // --name N | --name=N
+      if (arg.rfind(name, 0) != 0) return false;
+      std::string_view rest = arg.substr(name.size());
+      const char* text = nullptr;
+      if (rest.empty()) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%.*s requires a value\n",
+                       static_cast<int>(name.size()), name.data());
+          std::exit(1);
+        }
+        text = argv[++i];
+      } else if (rest[0] == '=') {
+        text = argv[i] + name.size() + 1;
+      } else {
+        return false;
+      }
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "invalid value for %.*s: %s\n",
+                     static_cast<int>(name.size()), name.data(), text);
+        std::exit(1);
+      }
+      *out = v;
+      return true;
+    };
+    if (flag_value("--deadline-ms", &session.deadline_ms)) continue;
+    if (flag_value("--max-arcs", &session.max_arcs)) continue;
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: psem_cli [--deadline-ms N] [--max-arcs N] "
+                  "[script]\n");
+      return 0;
+    }
+    if (!script_path.empty()) {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 1;
+    }
+    script_path = arg;
+  }
+
   std::istream* in = &std::cin;
   std::ifstream file;
-  if (argc > 1) {
-    file.open(argv[1]);
+  if (!script_path.empty()) {
+    file.open(script_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
       return 1;
     }
     in = &file;
   }
-  bool interactive = (argc <= 1) && isatty(0);
+  bool interactive = script_path.empty() && isatty(0);
   if (interactive) {
     std::printf("psem reasoner — type 'help' for commands\n");
   }
@@ -218,5 +317,5 @@ int main(int argc, char** argv) {
     if (!std::getline(*in, line)) break;
     session.Handle(line);
   }
-  return 0;
+  return ExitCodeFor(session.last_error.code());
 }

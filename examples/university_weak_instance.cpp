@@ -99,6 +99,13 @@ int main() {
     bool open = WeakInstanceConsistent(cad_db, fds);
     Report("open world verdict:", open);
     CadResult cad = CadConsistent(cad_db, fds);
+    if (!cad.decided) {
+      // "Undecided: budget" is a different outcome from "inconsistent" —
+      // the search ran out of resources before reaching a verdict.
+      std::printf("  CAD verdict: undecided (%s)\n",
+                  cad.status.message().c_str());
+      return 1;
+    }
     Report("CAD verdict:", cad.consistent);
     std::printf("    [exact search explored %llu nodes]\n",
                 static_cast<unsigned long long>(cad.nodes));

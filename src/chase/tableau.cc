@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/failpoint.h"
+
 namespace psem {
 
 Tableau Tableau::Representative(const Database& db,
@@ -82,14 +84,39 @@ std::string Tableau::ToString(const Database& db,
   return out;
 }
 
-ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds) {
+ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds,
+                         const ExecContext& ctx) {
   ChaseResult result;
+  const bool governed = !ctx.unbounded();
   const std::size_t n = tableau->num_rows();
   bool changed = true;
   while (changed) {
     changed = false;
     ++result.rounds;
+    if (PSEM_FAILPOINT(failpoints::kChaseRound)) {
+      result.status =
+          Status::Internal("injected chase-round fault (psem.chase.round)");
+      return result;
+    }
+    if (governed) {
+      // An abort mid-chase is harmless: every merge already applied was
+      // forced by an FD, so the partially chased tableau is a sound
+      // intermediate state of the same confluent chase.
+      Status st = ctx.CheckRounds(result.rounds);
+      if (st.ok()) st = ctx.Check();
+      if (!st.ok()) {
+        result.status = std::move(st);
+        return result;
+      }
+    }
     for (const Fd& fd : fds) {
+      if (governed) {
+        Status st = ctx.Check();
+        if (!st.ok()) {
+          result.status = std::move(st);
+          return result;
+        }
+      }
       // Columns of the FD (ids are universe ids = tableau columns).
       std::vector<std::size_t> xcols, ycols;
       fd.lhs.ForEach([&](std::size_t a) {
@@ -145,8 +172,9 @@ ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds) {
   return result;
 }
 
-bool WeakInstanceConsistent(const Database& db, const std::vector<Fd>& fds,
-                            std::size_t universe_width) {
+namespace {
+std::size_t EffectiveWidth(const Database& db, const std::vector<Fd>& fds,
+                           std::size_t universe_width) {
   std::size_t width = universe_width == 0 ? db.universe().size()
                                           : universe_width;
   // FDs may reference attributes beyond db's universe (fresh normalization
@@ -155,8 +183,27 @@ bool WeakInstanceConsistent(const Database& db, const std::vector<Fd>& fds,
     width = std::max(width, fd.lhs.size());
     width = std::max(width, fd.rhs.size());
   }
-  Tableau t = Tableau::Representative(db, width);
+  return width;
+}
+}  // namespace
+
+bool WeakInstanceConsistent(const Database& db, const std::vector<Fd>& fds,
+                            std::size_t universe_width) {
+  Tableau t = Tableau::Representative(db, EffectiveWidth(db, fds,
+                                                         universe_width));
   return ChaseWithFds(&t, fds).consistent;
+}
+
+Result<bool> WeakInstanceConsistentChecked(const Database& db,
+                                           const std::vector<Fd>& fds,
+                                           std::size_t universe_width,
+                                           const ExecContext& ctx) {
+  PSEM_RETURN_IF_ERROR(ctx.Check());
+  Tableau t = Tableau::Representative(db, EffectiveWidth(db, fds,
+                                                         universe_width));
+  ChaseResult r = ChaseWithFds(&t, fds, ctx);
+  PSEM_RETURN_IF_ERROR(r.status);
+  return r.consistent;
 }
 
 }  // namespace psem

@@ -14,6 +14,7 @@
 
 #include "relational/dependency.h"
 #include "relational/relation.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 #include "util/union_find.h"
 
@@ -77,12 +78,22 @@ struct ChaseResult {
   bool consistent = false;
   std::size_t rounds = 0;  ///< full passes over the FD set.
   std::size_t merges = 0;  ///< class unions performed.
+  /// OK when the chase ran to its fixpoint (or failed on a genuine
+  /// constant clash — that is the Inconsistent *verdict*, not an error).
+  /// Non-OK (kResourceExhausted / kCancelled / injected fault) means the
+  /// run stopped early: `consistent` is then meaningless, but rounds and
+  /// merges reflect the partial progress, and the tableau holds only
+  /// sound merges (each forced by an FD), so re-chasing it with a fresh
+  /// context converges to the same verdict as a cold chase.
+  Status status = Status::OK();
 };
 
 /// Chases `tableau` with `fds` (FDs over the same universe ids) to a
 /// fixpoint. Returns consistent=false iff two distinct constants were
-/// equated.
-ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds);
+/// equated. The ctx's round budget, deadline, and cancel token are
+/// checked once per round and per FD; see ChaseResult::status.
+ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds,
+                         const ExecContext& ctx = ExecContext::Unbounded());
 
 /// Honeyman's test: d is consistent with `fds` under the weak instance
 /// assumption iff the chase of the representative tableau succeeds.
@@ -91,6 +102,13 @@ ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds);
 /// normalization.
 bool WeakInstanceConsistent(const Database& db, const std::vector<Fd>& fds,
                             std::size_t universe_width = 0);
+
+/// Governed Honeyman test: verdict, or the ctx/fail-point Status that
+/// stopped the chase early.
+Result<bool> WeakInstanceConsistentChecked(const Database& db,
+                                           const std::vector<Fd>& fds,
+                                           std::size_t universe_width,
+                                           const ExecContext& ctx);
 
 }  // namespace psem
 

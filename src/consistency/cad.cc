@@ -4,11 +4,16 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "util/failpoint.h"
+
 namespace psem {
 
 namespace {
 
 constexpr ValueId kHole = UINT32_MAX;
+
+// Deadline/cancel poll period of the governed search, in decision nodes.
+constexpr uint64_t kCadCheckStride = 1024;
 
 struct CadSearch {
   const std::vector<Fd>& fds;
@@ -19,19 +24,27 @@ struct CadSearch {
   // FDs (as column lists) touching each column.
   std::vector<std::vector<uint32_t>> fds_on_col;
   std::vector<std::vector<std::size_t>> fd_x, fd_y;
+  const ExecContext& ctx;
   uint64_t nodes = 0;
   uint64_t budget;
+  bool governed;
   bool exhausted = false;
+  Status status;  // why the search stopped early (set iff exhausted)
 
   CadSearch(const std::vector<Fd>& fds_in, std::size_t width_in,
             std::vector<std::vector<ValueId>>& rows_in,
             const std::vector<std::vector<ValueId>>& domains_in,
-            uint64_t budget_in)
+            uint64_t budget_in, const ExecContext& ctx_in)
       : fds(fds_in),
         width(width_in),
         rows(rows_in),
         domains(domains_in),
-        budget(budget_in) {
+        ctx(ctx_in),
+        budget(budget_in),
+        governed(!ctx_in.unbounded()) {
+    if (ctx.max_solver_nodes() != 0) {
+      budget = std::min(budget, ctx.max_solver_nodes());
+    }
     fd_x.resize(fds.size());
     fd_y.resize(fds.size());
     fds_on_col.resize(width);
@@ -84,7 +97,18 @@ struct CadSearch {
   bool Dfs(std::size_t hole_idx) {
     if (++nodes > budget) {
       exhausted = true;
+      status = Status::ResourceExhausted(
+          "solver node budget exhausted after " + std::to_string(nodes) +
+          " nodes");
       return false;
+    }
+    if (governed && (nodes % kCadCheckStride) == 0) {
+      Status st = ctx.Check();
+      if (!st.ok()) {
+        exhausted = true;
+        status = std::move(st);
+        return false;
+      }
     }
     if (hole_idx == holes.size()) return true;
     auto [r, c] = holes[hole_idx];
@@ -101,8 +125,22 @@ struct CadSearch {
 }  // namespace
 
 CadResult CadConsistent(const Database& db, const std::vector<Fd>& fds,
-                        uint64_t node_budget) {
+                        uint64_t node_budget, const ExecContext& ctx) {
   CadResult result;
+  if (PSEM_FAILPOINT(failpoints::kCadSearch)) {
+    result.decided = false;
+    result.status =
+        Status::Internal("injected CAD-search fault (psem.cad.search)");
+    return result;
+  }
+  if (!ctx.unbounded()) {
+    Status st = ctx.Check();
+    if (!st.ok()) {
+      result.decided = false;
+      result.status = std::move(st);
+      return result;
+    }
+  }
   const std::size_t width = db.universe().size();
 
   // Representative rows: one per database tuple, holes elsewhere.
@@ -134,7 +172,7 @@ CadResult CadConsistent(const Database& db, const std::vector<Fd>& fds,
     }
   }
 
-  CadSearch search(fds, width, rows, domains, node_budget);
+  CadSearch search(fds, width, rows, domains, node_budget, ctx);
   // Initial fixed cells must already be FD-consistent.
   bool initial_ok = true;
   for (uint32_t f = 0; f < fds.size() && initial_ok; ++f) {
@@ -151,6 +189,7 @@ CadResult CadConsistent(const Database& db, const std::vector<Fd>& fds,
   result.nodes = search.nodes;
   if (search.exhausted) {
     result.decided = false;
+    result.status = std::move(search.status);
     return result;
   }
   result.consistent = found;

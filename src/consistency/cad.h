@@ -16,6 +16,7 @@
 #include "consistency/nae3sat.h"
 #include "relational/dependency.h"
 #include "relational/relation.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace psem {
@@ -23,8 +24,14 @@ namespace psem {
 /// Result of an exact CAD-consistency search.
 struct CadResult {
   bool consistent = false;
-  bool decided = true;       ///< false iff node budget exhausted.
+  bool decided = true;       ///< false iff the search stopped early.
   uint64_t nodes = 0;        ///< backtracking nodes explored.
+  /// Why an undecided search stopped (kResourceExhausted for node budget
+  /// or deadline, kCancelled, kInternal for an injected fault). OK when
+  /// decided — including the decided-inconsistent verdict, which is NOT
+  /// an error. Callers reporting outcomes must keep "undecided: budget"
+  /// distinct from "inconsistent".
+  Status status = Status::OK();
   /// On success: the completed weak instance, one row per database tuple,
   /// columns in universe-id order (width = universe size).
   std::vector<std::vector<ValueId>> weak_instance;
@@ -34,9 +41,12 @@ struct CadResult {
 /// w |= fds. Per the NP-membership argument of Theorem 11, w needs only
 /// one tuple per database tuple, so the search space is the fill-in of the
 /// representative rows with symbols already appearing in the respective
-/// columns of d.
+/// columns of d. The effective node cap is min(node_budget,
+/// ctx.max_solver_nodes()); the deadline/cancel token are polled every
+/// ~1024 nodes.
 CadResult CadConsistent(const Database& db, const std::vector<Fd>& fds,
-                        uint64_t node_budget = UINT64_MAX);
+                        uint64_t node_budget = UINT64_MAX,
+                        const ExecContext& ctx = ExecContext::Unbounded());
 
 /// The Theorem 11 reduction. Builds into `db`/`fds` the database and FPD
 /// set whose CAD-consistency is equivalent to NAE-satisfiability of `f`

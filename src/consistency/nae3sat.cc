@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -66,15 +67,30 @@ namespace {
 
 enum class Tri : uint8_t { kUnset, kTrue, kFalse };
 
+// Deadline/cancel poll period of the governed search, in decision nodes.
+constexpr uint64_t kNaeCheckStride = 1024;
+
 struct Solver {
   const NaeFormula& f;
+  const ExecContext& ctx;
   std::vector<Tri> value;
   uint64_t nodes = 0;
   uint64_t budget;
+  bool governed;
   bool exhausted = false;
+  Status status;  // why the search stopped early (set iff exhausted)
 
-  explicit Solver(const NaeFormula& formula, uint64_t node_budget)
-      : f(formula), value(formula.num_vars, Tri::kUnset), budget(node_budget) {}
+  Solver(const NaeFormula& formula, uint64_t node_budget,
+         const ExecContext& exec_ctx)
+      : f(formula),
+        ctx(exec_ctx),
+        value(formula.num_vars, Tri::kUnset),
+        budget(node_budget),
+        governed(!exec_ctx.unbounded()) {
+    if (ctx.max_solver_nodes() != 0) {
+      budget = std::min(budget, ctx.max_solver_nodes());
+    }
+  }
 
   // Checks a clause under the partial assignment. Returns false if the
   // clause is already all-equal with every literal fixed.
@@ -95,7 +111,18 @@ struct Solver {
   bool Dfs(uint32_t var) {
     if (++nodes > budget) {
       exhausted = true;
+      status = Status::ResourceExhausted(
+          "solver node budget exhausted after " + std::to_string(nodes) +
+          " nodes");
       return false;
+    }
+    if (governed && (nodes % kNaeCheckStride) == 0) {
+      Status st = ctx.Check();
+      if (!st.ok()) {
+        exhausted = true;
+        status = std::move(st);
+        return false;
+      }
     }
     while (var < f.num_vars && value[var] != Tri::kUnset) ++var;
     if (var == f.num_vars) {
@@ -125,8 +152,15 @@ struct Solver {
 
 }  // namespace
 
-NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget) {
+NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget,
+                        const ExecContext& ctx) {
   NaeSolveResult result;
+  if (PSEM_FAILPOINT(failpoints::kNaeSearch)) {
+    result.decided = false;
+    result.status =
+        Status::Internal("injected NAE-search fault (psem.nae.search)");
+    return result;
+  }
   if (f.num_vars == 0) {
     result.assignment = f.clauses.empty()
                             ? std::optional<std::vector<bool>>(
@@ -134,13 +168,14 @@ NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget) {
                             : std::nullopt;
     return result;
   }
-  Solver s(f, node_budget);
+  Solver s(f, node_budget, ctx);
   // NAE formulas are complement-symmetric: WLOG variable 0 is false.
   s.value[0] = Tri::kFalse;
   bool sat = s.Dfs(0);
   result.nodes = s.nodes;
   if (s.exhausted) {
     result.decided = false;
+    result.status = std::move(s.status);
     return result;
   }
   if (sat) {

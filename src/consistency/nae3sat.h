@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "util/exec_context.h"
+#include "util/status.h"
+
 namespace psem {
 
 /// A literal: variable index (0-based) with a sign.
@@ -45,10 +48,19 @@ std::optional<std::vector<bool>> NaeBruteForce(const NaeFormula& f);
 /// the struct below.
 struct NaeSolveResult {
   std::optional<std::vector<bool>> assignment;  ///< set iff satisfiable.
-  bool decided = true;    ///< false iff the node budget ran out.
+  bool decided = true;    ///< false iff the search stopped early.
   uint64_t nodes = 0;     ///< decision nodes explored.
+  /// Why an undecided search stopped: kResourceExhausted for a tripped
+  /// node budget or deadline, kCancelled for the cancel token, kInternal
+  /// for an injected fault. OK whenever decided. "Undecided: budget" is a
+  /// distinct outcome from "unsatisfiable" — callers must branch on
+  /// status/decided before reading assignment.
+  Status status = Status::OK();
 };
-NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget = UINT64_MAX);
+/// The effective node cap is min(node_budget, ctx.max_solver_nodes());
+/// the ctx deadline/cancel token are polled every ~1024 nodes.
+NaeSolveResult NaeSolve(const NaeFormula& f, uint64_t node_budget = UINT64_MAX,
+                        const ExecContext& ctx = ExecContext::Unbounded());
 
 /// Random 3-clause formula over n variables with m clauses (distinct vars
 /// per clause, signs uniform), deterministic in `seed`.

@@ -5,7 +5,8 @@
 namespace psem {
 
 Result<PdConsistencyReport> PdConsistent(Database* db, const ExprArena& arena,
-                                         const std::vector<Pd>& pds) {
+                                         const std::vector<Pd>& pds,
+                                         const ExecContext& ctx) {
   PdConsistencyReport report;
   PSEM_ASSIGN_OR_RETURN(NormalizedPds norm,
                         NormalizePds(arena, pds, &db->universe()));
@@ -13,7 +14,8 @@ Result<PdConsistencyReport> PdConsistent(Database* db, const ExprArena& arena,
   report.num_sum_uppers = norm.sum_uppers.size();
 
   Tableau t = Tableau::Representative(*db, db->universe().size());
-  ChaseResult chase = ChaseWithFds(&t, norm.fpds);
+  ChaseResult chase = ChaseWithFds(&t, norm.fpds, ctx);
+  PSEM_RETURN_IF_ERROR(chase.status);
   report.chase_rounds = chase.rounds;
   report.chase_merges = chase.merges;
   report.consistent = chase.consistent;

@@ -13,6 +13,7 @@
 #include "core/normalize.h"
 #include "lattice/expr.h"
 #include "relational/relation.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace psem {
@@ -29,8 +30,12 @@ struct PdConsistencyReport {
 /// Tests whether db is consistent with the PDs `pds` (expressions over
 /// `arena`; attributes shared with db's universe by name). Grows db's
 /// universe with the fresh attributes of normalization. Polynomial time.
-Result<PdConsistencyReport> PdConsistent(Database* db, const ExprArena& arena,
-                                         const std::vector<Pd>& pds);
+/// The ctx's round budget/deadline/cancel token govern the inner chase; a
+/// trip surfaces as the chase's non-OK Status, with the partial rounds
+/// and merges NOT reported (the chase result is discarded on error).
+Result<PdConsistencyReport> PdConsistent(
+    Database* db, const ExprArena& arena, const std::vector<Pd>& pds,
+    const ExecContext& ctx = ExecContext::Unbounded());
 
 }  // namespace psem
 

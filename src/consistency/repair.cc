@@ -5,6 +5,7 @@
 
 #include "chase/tableau.h"
 #include "core/fd_theory.h"
+#include "util/failpoint.h"
 #include "util/union_find.h"
 
 namespace psem {
@@ -38,14 +39,16 @@ std::optional<std::pair<uint32_t, uint32_t>> FindSumUpperViolation(
 
 Result<MaterializedWeakInstance> MaterializeWeakInstance(
     Database* db, const ExprArena& arena, const std::vector<Pd>& pds,
-    std::size_t max_rounds) {
+    std::size_t max_rounds, const ExecContext& ctx) {
+  const bool governed = !ctx.unbounded();
   PSEM_ASSIGN_OR_RETURN(NormalizedPds norm,
                         NormalizePds(arena, pds, &db->universe()));
   const std::size_t width = db->universe().size();
 
   // Chase the representative tableau with F.
   Tableau t = Tableau::Representative(*db, width);
-  ChaseResult chase = ChaseWithFds(&t, norm.fpds);
+  ChaseResult chase = ChaseWithFds(&t, norm.fpds, ctx);
+  PSEM_RETURN_IF_ERROR(chase.status);
   if (!chase.consistent) {
     return Status::Inconsistent("database inconsistent with the PDs (Thm 12)");
   }
@@ -79,7 +82,18 @@ Result<MaterializedWeakInstance> MaterializeWeakInstance(
   MaterializedWeakInstance out{std::move(w), 0, 0};
   // Repair loop (Lemma 12.1): fix one violation per iteration. The budget
   // bounds the number of FIXES; a quiescent instance returns regardless.
+  // An abort between rounds is harmless: the instance plus any bridging
+  // tuples already added is a valid intermediate of the same repair
+  // sequence, and the caller may re-run from the original database.
   for (std::size_t round = 0;; ++round) {
+    if (PSEM_FAILPOINT(failpoints::kRepairRound)) {
+      return Status::Internal(
+          "injected repair-round fault (psem.repair.round)");
+    }
+    if (governed) {
+      PSEM_RETURN_IF_ERROR(ctx.CheckRounds(round + 1));
+      PSEM_RETURN_IF_ERROR(ctx.Check());
+    }
     bool violated = false;
     for (const SumUpperConstraint& su : norm.sum_uppers) {
       auto v = FindSumUpperViolation(out.instance, su.c, su.a, su.b);

@@ -17,6 +17,7 @@
 #include "core/normalize.h"
 #include "lattice/expr.h"
 #include "relational/relation.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace psem {
@@ -39,9 +40,14 @@ struct MaterializedWeakInstance {
 ///
 /// Grows db's universe (normalization attributes) and symbol table
 /// (fresh padding symbols).
+///
+/// The ctx governs both phases: its round budget/deadline/cancel token
+/// are observed by the inner chase and checked once per repair round
+/// (the effective round cap is min(max_rounds, ctx.max_rounds())).
 Result<MaterializedWeakInstance> MaterializeWeakInstance(
     Database* db, const ExprArena& arena, const std::vector<Pd>& pds,
-    std::size_t max_rounds = 64);
+    std::size_t max_rounds = 64,
+    const ExecContext& ctx = ExecContext::Unbounded());
 
 }  // namespace psem
 

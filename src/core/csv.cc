@@ -1,5 +1,7 @@
 #include "core/csv.h"
 
+#include <unordered_set>
+
 #include "util/strings.h"
 
 namespace psem {
@@ -10,6 +12,11 @@ Result<std::vector<std::string>> ParseCsvRecord(std::string_view line) {
   bool in_quotes = false;
   for (std::size_t i = 0; i < line.size(); ++i) {
     char c = line[i];
+    if (current.size() >= kMaxCsvFieldBytes) {
+      return Status::InvalidArgument(
+          "CSV field exceeds the maximum length of " +
+          std::to_string(kMaxCsvFieldBytes) + " bytes");
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
@@ -27,6 +34,11 @@ Result<std::vector<std::string>> ParseCsvRecord(std::string_view line) {
       }
       in_quotes = true;
     } else if (c == ',') {
+      if (fields.size() + 1 >= kMaxCsvFields) {
+        return Status::InvalidArgument(
+            "CSV record exceeds the maximum of " +
+            std::to_string(kMaxCsvFields) + " fields");
+      }
       fields.push_back(current);
       current.clear();
     } else if (c == '\r') {
@@ -44,6 +56,11 @@ Result<std::vector<std::string>> ParseCsvRecord(std::string_view line) {
 
 Result<std::size_t> LoadCsvRelation(const std::string& csv_text, Database* db,
                                     const std::string& name) {
+  if (csv_text.size() > kMaxCsvBytes) {
+    return Status::InvalidArgument(
+        "CSV input of " + std::to_string(csv_text.size()) +
+        " bytes exceeds the maximum of " + std::to_string(kMaxCsvBytes));
+  }
   std::vector<std::string> lines;
   {
     std::size_t start = 0;
@@ -60,15 +77,23 @@ Result<std::size_t> LoadCsvRelation(const std::string& csv_text, Database* db,
   }
   PSEM_ASSIGN_OR_RETURN(std::vector<std::string> header,
                         ParseCsvRecord(lines[0]));
+  std::unordered_set<std::string> seen_attrs;
   for (auto& h : header) {
     h = std::string(StripAsciiWhitespace(h));
     if (!IsIdentifier(h)) {
       return Status::InvalidArgument("header field '" + h +
                                      "' is not a valid attribute name");
     }
+    if (!seen_attrs.insert(h).second) {
+      return Status::InvalidArgument("duplicate attribute '" + h +
+                                     "' in CSV header");
+    }
   }
-  std::size_t ri = db->AddRelation(name, header);
-  Relation& r = db->relation(ri);
+  // Parse and validate every row BEFORE touching the database, so a
+  // malformed input (the usual case for untrusted files) cannot leave a
+  // half-loaded relation behind.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(lines.size() - 1);
   for (std::size_t l = 1; l < lines.size(); ++l) {
     PSEM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                           ParseCsvRecord(lines[l]));
@@ -78,8 +103,11 @@ Result<std::size_t> LoadCsvRelation(const std::string& csv_text, Database* db,
           std::to_string(fields.size()) + " fields, expected " +
           std::to_string(header.size()));
     }
-    r.AddRow(&db->symbols(), fields);
+    rows.push_back(std::move(fields));
   }
+  std::size_t ri = db->AddRelation(name, header);
+  Relation& r = db->relation(ri);
+  for (const auto& fields : rows) r.AddRow(&db->symbols(), fields);
   return ri;
 }
 

@@ -17,9 +17,21 @@
 
 namespace psem {
 
+// Untrusted-input guards (see docs/robustness.md). CSV arriving through
+// LoadCsvRelation may come straight from a user file, so violations are
+// kInvalidArgument Statuses, never asserts: inputs larger than
+// kMaxCsvBytes, records wider than kMaxCsvFields, fields longer than
+// kMaxCsvFieldBytes, and duplicate header attributes are all rejected
+// before any part of the database is mutated.
+inline constexpr std::size_t kMaxCsvBytes = 64u << 20;        // 64 MiB
+inline constexpr std::size_t kMaxCsvFields = 4096;            // per record
+inline constexpr std::size_t kMaxCsvFieldBytes = 64u << 10;   // 64 KiB
+
 /// Parses CSV text into a fresh relation of `db` named `name`. The header
-/// row supplies attribute names (must be identifiers). Rows with a
-/// mismatched field count are an error. Returns the relation index.
+/// row supplies attribute names (must be identifiers, pairwise distinct).
+/// Rows with a mismatched field count are an error. Returns the relation
+/// index. All-or-nothing: the whole input is parsed and validated before
+/// the database is mutated, so an error leaves `db` untouched.
 Result<std::size_t> LoadCsvRelation(const std::string& csv_text, Database* db,
                                     const std::string& name = "csv");
 

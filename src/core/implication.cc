@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <optional>
 #include <set>
+
+#include "util/failpoint.h"
 
 namespace psem {
 
@@ -19,6 +22,10 @@ uint64_t PairKey(ExprId e1, ExprId e2) {
   return (static_cast<uint64_t>(e1) << 32) | e2;
 }
 
+// How often the governed sweeps poll the deadline/cancel state: every
+// (kCheckStride) rows. Budget comparisons are per-pass and cost nothing.
+constexpr std::size_t kCheckStride = 256;
+
 }  // namespace
 
 PdImplicationEngine::PdImplicationEngine(const ExprArena* arena,
@@ -26,12 +33,34 @@ PdImplicationEngine::PdImplicationEngine(const ExprArena* arena,
                                          EngineOptions options)
     : arena_(arena), constraints_(std::move(constraints)), options_(options) {
   if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    // Graceful degradation: a failed pool spawn (thread exhaustion in the
+    // environment, or the psem.threadpool.spawn fail point) downgrades to
+    // the serial sweep instead of propagating an exception. Verdicts are
+    // identical either way; the downgrade is recorded in stats().
+    auto pool = ThreadPool::Create(options_.num_threads);
+    if (pool.ok()) {
+      pool_ = std::move(pool).value();
+    } else {
+      stats_.degraded_to_serial = true;
+      stats_.degradation_reason = pool.status().message();
+    }
   }
   for (const Pd& pd : constraints_) {
     AddVertex(pd.lhs);
     AddVertex(pd.rhs);
   }
+}
+
+std::size_t PdImplicationEngine::CountNewVertices(ExprId e,
+                                                  std::set<ExprId>* seen) const {
+  if (vertex_of_.count(e) || seen->count(e)) return 0;
+  seen->insert(e);
+  std::size_t count = 1;
+  if (!arena_->IsAttr(e)) {
+    count += CountNewVertices(arena_->LhsOf(e), seen);
+    count += CountNewVertices(arena_->RhsOf(e), seen);
+  }
+  return count;
 }
 
 void PdImplicationEngine::AddVertex(ExprId e) {
@@ -61,9 +90,22 @@ std::size_t PdImplicationEngine::CountArcs() const {
   return arcs;
 }
 
-void PdImplicationEngine::ComputeClosure() {
+Status PdImplicationEngine::ComputeClosure(const ExecContext& ctx) {
   const auto closure_start = SteadyClock::now();
   const std::size_t n = vertices_.size();
+
+  {
+    Status st = ctx.CheckVertices(n);
+    if (st.ok()) st = ctx.Check();
+    if (st.ok() && PSEM_FAILPOINT(failpoints::kAlgSeedAlloc)) {
+      st = Status::ResourceExhausted(
+          "injected arc-matrix allocation failure (psem.alg.seed_alloc)");
+    }
+    if (!st.ok()) {
+      ++stats_.aborted_closures;
+      return st;  // nothing mutated yet; the engine state is untouched
+    }
+  }
 
   // Seed phase. Cold: reflexive arcs everywhere plus the constraint arcs.
   // (Rule 1 seeds (A, A) for attributes only and derives reflexivity of
@@ -103,38 +145,59 @@ void PdImplicationEngine::ComputeClosure() {
   stats_.seed_seconds += SecondsSince(closure_start);
 
   stats_.pass_arc_delta.clear();
+  Status st;
   if (pool_) {
     // The banded sweep is full-width; a warm start still converges in
     // fewer passes than a cold one.
-    ParallelFixpoint();
+    st = ParallelFixpoint(ctx);
   } else if (closed_vertices_ > 0) {
-    IncrementalFixpoint(closed_vertices_);
+    st = IncrementalFixpoint(closed_vertices_, ctx);
   } else {
-    SerialFixpoint();
+    st = SerialFixpoint(ctx);
   }
 
-  closed_vertices_ = n;
-  closure_valid_ = true;
+  // Partial stats are filled in even when the fixpoint stopped early —
+  // the partial-stats-on-timeout contract (docs/robustness.md).
   stats_.num_vertices = n;
   stats_.num_arcs = CountArcs();
   stats_.num_threads = pool_ ? pool_->num_threads() : 1;
   stats_.closure_seconds += SecondsSince(closure_start);
+
+  if (!st.ok()) {
+    // closure_valid_ stays false and closed_vertices_ keeps its previous
+    // value: the partially propagated matrix is a sound warm start for
+    // the next attempt (arcs are only ever added and every written arc
+    // is justified), so the engine remains fully usable.
+    ++stats_.aborted_closures;
+    return st;
+  }
+  closed_vertices_ = n;
+  closure_valid_ = true;
+  return Status::OK();
 }
 
 // Fixpoint over rules 2-5 and 7, alternating row-space (up) and
 // column-space (down) formulations; in-place Gauss-Seidel propagation.
-void PdImplicationEngine::SerialFixpoint() {
+Status PdImplicationEngine::SerialFixpoint(const ExecContext& ctx) {
   const std::size_t n = vertices_.size();
+  const bool governed = !ctx.unbounded();
   down_.assign(n, DynamicBitset(n));
   std::size_t passes = 0;
   std::size_t arcs_before = CountArcs();
   bool changed = true;
   while (changed) {
     changed = false;
-    ++passes;
+    stats_.passes = ++passes;
+    if (PSEM_FAILPOINT(failpoints::kAlgSweep)) {
+      return Status::Internal("injected closure-sweep fault (psem.alg.sweep)");
+    }
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.Check());
     auto rules_start = SteadyClock::now();
     // Rule 7 (transitivity), one sweep: up[i] |= up[j] for j in up[i].
     for (std::size_t i = 0; i < n; ++i) {
+      if (governed && (i % kCheckStride) == 0) {
+        PSEM_RETURN_IF_ERROR(ctx.Check());
+      }
       for (std::size_t j = up_[i].NextSetBit(0); j < n;
            j = up_[i].NextSetBit(j + 1)) {
         if (j != i) changed |= up_[i].UnionWith(up_[j]);
@@ -186,8 +249,9 @@ void PdImplicationEngine::SerialFixpoint() {
     std::size_t arcs_now = CountArcs();
     stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
     arcs_before = arcs_now;
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arcs_now));
   }
-  stats_.passes = passes;
+  return Status::OK();
 }
 
 // Banded Jacobi fixpoint: each phase partitions the rows (or columns)
@@ -199,16 +263,37 @@ void PdImplicationEngine::SerialFixpoint() {
 // arcs, the rules are monotone, and the loop runs until no sweep adds an
 // arc — so it converges to the same least fixpoint (the argument is
 // spelled out in docs/architecture.md).
-void PdImplicationEngine::ParallelFixpoint() {
+Status PdImplicationEngine::ParallelFixpoint(const ExecContext& ctx) {
   const std::size_t n = vertices_.size();
+  const bool governed = !ctx.unbounded();
   std::vector<DynamicBitset> prev(n, DynamicBitset(n));
   down_.assign(n, DynamicBitset(n));
   std::size_t passes = 0;
   std::size_t arcs_before = CountArcs();
   std::atomic<bool> changed{true};
+  // Cooperative abort: any band that observes a tripped context sets the
+  // flag; every band checks it per row and bails, and the driving thread
+  // surfaces the Status after the barrier. Mid-sweep writes are partial
+  // but sound (each is justified by snapshot arcs), so the matrix stays
+  // a valid warm start.
+  std::atomic<bool> aborted{false};
+  auto band_check = [&](std::size_t i) {
+    if (aborted.load(std::memory_order_relaxed)) return true;
+    if ((i % kCheckStride) == 0 &&
+        (ctx.cancelled() || ctx.deadline_expired())) {
+      aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
   while (changed.load(std::memory_order_relaxed)) {
     changed.store(false, std::memory_order_relaxed);
     ++passes;
+    stats_.passes = passes;
+    if (PSEM_FAILPOINT(failpoints::kAlgSweep)) {
+      return Status::Internal("injected closure-sweep fault (psem.alg.sweep)");
+    }
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.Check());
 
     // Snapshot up -> prev.
     auto transpose_start = SteadyClock::now();
@@ -223,6 +308,7 @@ void PdImplicationEngine::ParallelFixpoint() {
     pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
       bool local = false;
       for (std::size_t i = lo; i < hi; ++i) {
+        if (governed && band_check(i)) break;
         for (std::size_t j = prev[i].NextSetBit(0); j < n;
              j = prev[i].NextSetBit(j + 1)) {
           if (j != i) local |= up_[i].UnionWith(prev[j]);
@@ -237,6 +323,9 @@ void PdImplicationEngine::ParallelFixpoint() {
       if (local) changed.store(true, std::memory_order_relaxed);
     });
     stats_.rules_seconds += SecondsSince(rules_start);
+    if (governed && aborted.load(std::memory_order_relaxed)) {
+      return ctx.Check();
+    }
 
     // Transpose up -> down, banded by destination row (= up column), so
     // every down row has exactly one writer.
@@ -288,8 +377,9 @@ void PdImplicationEngine::ParallelFixpoint() {
     std::size_t arcs_now = CountArcs();
     stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
     arcs_before = arcs_now;
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arcs_now));
   }
-  stats_.passes = passes;
+  return Status::OK();
 }
 
 // Frontier-restricted fixpoint for warm starts. Vertices [0, old_n)
@@ -305,19 +395,28 @@ void PdImplicationEngine::ParallelFixpoint() {
 // and children of old vertices are always old (AddVertex interns
 // children first), so the tail-restricted unions see every premise they
 // need. down_ == transpose(up_) holds again on exit.
-void PdImplicationEngine::IncrementalFixpoint(std::size_t old_n) {
+Status PdImplicationEngine::IncrementalFixpoint(std::size_t old_n,
+                                                const ExecContext& ctx) {
   const std::size_t n = vertices_.size();
+  const bool governed = !ctx.unbounded();
   std::size_t passes = 0;
   std::size_t arcs_before = CountArcs();
   bool changed = true;
   while (changed) {
     changed = false;
-    ++passes;
+    stats_.passes = ++passes;
+    if (PSEM_FAILPOINT(failpoints::kAlgSweep)) {
+      return Status::Internal("injected closure-sweep fault (psem.alg.sweep)");
+    }
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.Check());
 
     // Row-space sweep. New rows: rule 7 (transitivity) and rules 3/2 at
     // full width.
     auto rules_start = SteadyClock::now();
     for (std::size_t i = old_n; i < n; ++i) {
+      if (governed && ((i - old_n) % kCheckStride) == 0) {
+        PSEM_RETURN_IF_ERROR(ctx.Check());
+      }
       for (std::size_t j = up_[i].NextSetBit(0); j < n;
            j = up_[i].NextSetBit(j + 1)) {
         if (j != i) changed |= up_[i].UnionWith(up_[j]);
@@ -331,6 +430,9 @@ void PdImplicationEngine::IncrementalFixpoint(std::size_t old_n) {
     }
     // Old rows: same rules, but only the tail (bits >= old_n) may grow.
     for (std::size_t i = 0; i < old_n; ++i) {
+      if (governed && (i % kCheckStride) == 0) {
+        PSEM_RETURN_IF_ERROR(ctx.Check());
+      }
       for (std::size_t j = up_[i].NextSetBit(0); j < n;
            j = up_[i].NextSetBit(j + 1)) {
         if (j != i) changed |= up_[i].UnionWithFrom(up_[j], old_n);
@@ -406,13 +508,37 @@ void PdImplicationEngine::IncrementalFixpoint(std::size_t old_n) {
     std::size_t arcs_now = CountArcs();
     stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
     arcs_before = arcs_now;
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arcs_now));
   }
-  stats_.passes = passes;
+  return Status::OK();
 }
 
 void PdImplicationEngine::Prepare(const std::vector<ExprId>& exprs) {
   for (ExprId e : exprs) AddVertex(e);
-  if (!closure_valid_) ComputeClosure();
+  if (!closure_valid_) {
+    Status st = ComputeClosure(ExecContext::Unbounded());
+    // Unbounded + no armed fail point cannot trip; if a test armed a
+    // closure fail point and then called the ungoverned path, surface it
+    // loudly rather than silently serving a stale closure.
+    PSEM_CHECK(st.ok(), "ungoverned closure failed: " + st.ToString());
+  }
+}
+
+Status PdImplicationEngine::Prepare(const std::vector<ExprId>& exprs,
+                                    const ExecContext& ctx) {
+  // Enforce the vertex budget BEFORE mutating V: count the prospective
+  // subexpressions and reject the whole call if they would blow the cap,
+  // leaving the engine exactly as it was.
+  if (ctx.max_vertices() != 0) {
+    std::set<ExprId> seen;
+    std::size_t added = 0;
+    for (ExprId e : exprs) added += CountNewVertices(e, &seen);
+    PSEM_RETURN_IF_ERROR(ctx.CheckVertices(vertices_.size() + added));
+  }
+  PSEM_RETURN_IF_ERROR(ctx.Check());
+  for (ExprId e : exprs) AddVertex(e);
+  if (!closure_valid_) PSEM_RETURN_IF_ERROR(ComputeClosure(ctx));
+  return Status::OK();
 }
 
 bool PdImplicationEngine::LeqInClosure(ExprId e1, ExprId e2) const {
@@ -466,6 +592,14 @@ bool PdImplicationEngine::ImpliesLeq(ExprId e1, ExprId e2) {
   return LeqWithCache(e1, e2);
 }
 
+Result<bool> PdImplicationEngine::ImpliesLeq(ExprId e1, ExprId e2,
+                                             const ExecContext& ctx) {
+  bool verdict;
+  if (CacheLookup(e1, e2, &verdict)) return verdict;
+  PSEM_RETURN_IF_ERROR(Prepare({e1, e2}, ctx));
+  return LeqWithCache(e1, e2);
+}
+
 bool PdImplicationEngine::Implies(const Pd& query) {
   // Cache fast path. Cached verdicts are V-independent (Lemma 9.2), so a
   // hit avoids extending V and re-closing even for never-seen queries.
@@ -477,6 +611,21 @@ bool PdImplicationEngine::Implies(const Pd& query) {
     if (CacheLookup(query.rhs, query.lhs, &bwd)) return bwd;
   }
   Prepare({query.lhs, query.rhs});
+  bool f = LeqWithCache(query.lhs, query.rhs);
+  if (!query.is_equation) return f;
+  return f && LeqWithCache(query.rhs, query.lhs);
+}
+
+Result<bool> PdImplicationEngine::Implies(const Pd& query,
+                                          const ExecContext& ctx) {
+  bool fwd;
+  if (CacheLookup(query.lhs, query.rhs, &fwd)) {
+    if (!fwd) return false;
+    if (!query.is_equation) return true;
+    bool bwd;
+    if (CacheLookup(query.rhs, query.lhs, &bwd)) return bwd;
+  }
+  PSEM_RETURN_IF_ERROR(Prepare({query.lhs, query.rhs}, ctx));
   bool f = LeqWithCache(query.lhs, query.rhs);
   if (!query.is_equation) return f;
   return f && LeqWithCache(query.rhs, query.lhs);
@@ -511,13 +660,85 @@ std::vector<bool> PdImplicationEngine::BatchImplies(
   // Pass 2: one shared (incremental) closure, then O(1) bit tests.
   // Duplicate queries in the batch resolve through the cache.
   if (!pending.empty()) {
-    if (!closure_valid_) ComputeClosure();
+    if (!closure_valid_) {
+      Status st = ComputeClosure(ExecContext::Unbounded());
+      PSEM_CHECK(st.ok(), "ungoverned closure failed: " + st.ToString());
+    }
     for (std::size_t i : pending) {
       const Pd& q = queries[i];
       bool f = LeqWithCache(q.lhs, q.rhs);
       out[i] = q.is_equation ? (f && LeqWithCache(q.rhs, q.lhs)) : f;
     }
   }
+  return out;
+}
+
+std::vector<Result<bool>> PdImplicationEngine::BatchImplies(
+    std::span<const Pd> queries, const ExecContext& ctx) {
+  // Failures are per-query: each query is pre-checked against the vertex
+  // budget BEFORE its subexpressions are interned, so one oversized query
+  // gets its own error and leaves the rest of the batch (and the engine)
+  // untouched. Result<bool> has no default constructor, so the slots are
+  // staged in optionals and unwrapped at the end.
+  std::vector<std::optional<Result<bool>>> slots(queries.size());
+  std::vector<std::size_t> pending;
+  std::set<ExprId> counted;  // spans the batch: vertices shared between
+                             // in-budget queries are counted once
+  std::size_t prospective = vertices_.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Pd& q = queries[i];
+    bool fwd;
+    if (CacheLookup(q.lhs, q.rhs, &fwd)) {
+      if (!fwd) {
+        slots[i] = Result<bool>(false);
+        continue;
+      }
+      if (!q.is_equation) {
+        slots[i] = Result<bool>(true);
+        continue;
+      }
+      bool bwd;
+      if (CacheLookup(q.rhs, q.lhs, &bwd)) {
+        slots[i] = Result<bool>(bwd);
+        continue;
+      }
+    }
+    if (ctx.max_vertices() != 0) {
+      // Trial-count against a copy so a rejected query's subexpressions
+      // don't pollute the shared `counted` set.
+      std::set<ExprId> trial = counted;
+      std::size_t added = CountNewVertices(q.lhs, &trial) +
+                          CountNewVertices(q.rhs, &trial);
+      Status st = ctx.CheckVertices(prospective + added);
+      if (!st.ok()) {
+        slots[i] = Result<bool>(st);
+        continue;
+      }
+      counted = std::move(trial);
+      prospective += added;
+    }
+    AddVertex(q.lhs);
+    AddVertex(q.rhs);
+    pending.push_back(i);
+  }
+  if (!pending.empty()) {
+    Status st = closure_valid_ ? Status::OK() : ComputeClosure(ctx);
+    for (std::size_t i : pending) {
+      if (!st.ok()) {
+        // Shared-closure failure: only the closure-dependent remainder
+        // report it; cache-resolved verdicts above are kept.
+        slots[i] = Result<bool>(st);
+        continue;
+      }
+      const Pd& q = queries[i];
+      bool f = LeqWithCache(q.lhs, q.rhs);
+      slots[i] =
+          Result<bool>(q.is_equation ? (f && LeqWithCache(q.rhs, q.lhs)) : f);
+    }
+  }
+  std::vector<Result<bool>> out;
+  out.reserve(slots.size());
+  for (auto& s : slots) out.push_back(std::move(*s));
   return out;
 }
 

@@ -50,12 +50,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "lattice/expr.h"
 #include "util/bitset.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +86,17 @@ struct AlgStats {
 
   std::size_t num_threads = 1;  ///< workers used by the closure sweeps.
 
+  /// True when EngineOptions requested a parallel pool but thread
+  /// creation failed (real or injected) and the engine fell back to the
+  /// serial sweep. Verdicts are unaffected; only throughput degrades.
+  bool degraded_to_serial = false;
+  std::string degradation_reason;  ///< why the downgrade happened.
+
+  /// Closures stopped early by a deadline, cancellation, budget, or
+  /// injected fault. The partial arc matrix is kept as a sound warm
+  /// start; the counters above reflect the partial progress.
+  std::size_t aborted_closures = 0;
+
   double CacheHitRate() const {
     return cache_lookups == 0
                ? 0.0
@@ -108,14 +121,27 @@ struct EngineOptions {
 class PdImplicationEngine {
  public:
   /// The engine keeps a pointer to `arena`; it must outlive the engine.
+  /// If options request a parallel pool and thread creation fails, the
+  /// engine degrades to the serial sweep and records the downgrade in
+  /// stats() (degraded_to_serial / degradation_reason) — construction
+  /// itself never fails.
   PdImplicationEngine(const ExprArena* arena, std::vector<Pd> constraints,
                       EngineOptions options = {});
 
   /// E |=_lat query — equivalently |=_fin, |=_rel, |=_rel,fin (Theorem 8).
   bool Implies(const Pd& query);
 
+  /// Governed variant: observes ctx's deadline, cancellation token, and
+  /// arc/vertex budgets. On a trip it returns kResourceExhausted or
+  /// kCancelled, keeps partial progress in stats(), and leaves the engine
+  /// fully usable — re-asking with a fresh context resumes from the
+  /// partial closure (a sound warm start) and yields the same verdict a
+  /// cold engine would.
+  Result<bool> Implies(const Pd& query, const ExecContext& ctx);
+
   /// E |= e <= e'.
   bool ImpliesLeq(ExprId e1, ExprId e2);
+  Result<bool> ImpliesLeq(ExprId e1, ExprId e2, const ExecContext& ctx);
 
   /// Answers every query in `queries` against one shared closure: new
   /// subexpressions across the whole batch are added to V first, the
@@ -123,9 +149,19 @@ class PdImplicationEngine {
   /// from the cache. out[i] corresponds to queries[i].
   std::vector<bool> BatchImplies(std::span<const Pd> queries);
 
+  /// Governed batch. Failures are per-query, not collective: a query
+  /// whose subexpressions would blow the vertex budget gets its own
+  /// kResourceExhausted while the rest of the batch is still answered;
+  /// if the one shared closure trips mid-computation, the queries already
+  /// resolved from the cache keep their verdicts and only the closure-
+  /// dependent remainder report the error.
+  std::vector<Result<bool>> BatchImplies(std::span<const Pd> queries,
+                                         const ExecContext& ctx);
+
   /// Ensures all of `exprs` are vertices of V and the closure is current.
   /// After this, LeqInClosure may be used for any pair of them.
   void Prepare(const std::vector<ExprId>& exprs);
+  Status Prepare(const std::vector<ExprId>& exprs, const ExecContext& ctx);
 
   /// Arc lookup in the computed closure. Both expressions must have been
   /// passed to Prepare (or appear in the constraints). Safe to call from
@@ -139,17 +175,26 @@ class PdImplicationEngine {
 
  private:
   void AddVertex(ExprId e);
-  void ComputeClosure();
+  // Number of subexpressions of `e` not yet in V and not yet in `seen`;
+  // used to enforce a vertex budget BEFORE mutating V.
+  std::size_t CountNewVertices(ExprId e, std::set<ExprId>* seen) const;
+  // All closure routines return OK, or the ctx/fail-point Status that
+  // stopped them early. An early stop leaves closure_valid_ == false and
+  // the partially propagated arc matrix in place — every written arc is a
+  // sound consequence of E and the rules are monotone, so the next
+  // ComputeClosure converges to the same least fixpoint from that state
+  // (or reseeds, for a cold start).
+  Status ComputeClosure(const ExecContext& ctx);
   // Runs the fixpoint over rules 2-5 and 7 starting from the current up_
   // state (seed arcs or a previous closure) until no sweep adds an arc.
-  // All three leave down_ == transpose(up_) on exit.
-  void SerialFixpoint();
-  void ParallelFixpoint();
+  // All three leave down_ == transpose(up_) on (successful) exit.
+  Status SerialFixpoint(const ExecContext& ctx);
+  Status ParallelFixpoint(const ExecContext& ctx);
   // Frontier-restricted fixpoint for the incremental case: vertices
   // [0, old_n) carry a finished closure whose old-old arcs are final
   // (Lemma 9.2), so sweeps touch only new rows (full width) and the
   // new-column tails of old rows. See docs/architecture.md.
-  void IncrementalFixpoint(std::size_t old_n);
+  Status IncrementalFixpoint(std::size_t old_n, const ExecContext& ctx);
   std::size_t CountArcs() const;
 
   // LRU query cache over packed (e1, e2) keys. Verdicts stay valid across

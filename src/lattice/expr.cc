@@ -73,6 +73,15 @@ ExprId ExprArena::ProductOfAttrs(std::span<const std::string> names) {
 
 namespace {
 
+// Error messages quote at most this much of the (untrusted, possibly
+// huge or binary) input.
+std::string Excerpt(std::string_view text) {
+  constexpr std::size_t kMaxQuoted = 64;
+  if (text.size() <= kMaxQuoted) return std::string(text);
+  return std::string(text.substr(0, kMaxQuoted)) + "... (" +
+         std::to_string(text.size()) + " bytes)";
+}
+
 // Recursive-descent parser over a string_view cursor.
 class Parser {
  public:
@@ -85,7 +94,7 @@ class Parser {
     if (pos_ != text_.size()) {
       return Status::InvalidArgument("trailing characters at position " +
                                      std::to_string(pos_) + " in '" +
-                                     std::string(text_) + "'");
+                                     Excerpt(text_) + "'");
     }
     return e;
   }
@@ -132,11 +141,20 @@ class Parser {
   Result<ExprId> ParseFactor() {
     SkipSpace();
     if (Consume('(')) {
+      // Untrusted-input guard: nesting depth is the parser's recursion
+      // depth, so cap it explicitly rather than riding the native stack
+      // into undefined behavior on adversarial input.
+      if (++depth_ > ExprArena::kMaxParseDepth) {
+        return Status::InvalidArgument(
+            "expression nesting exceeds the maximum depth of " +
+            std::to_string(ExprArena::kMaxParseDepth));
+      }
       PSEM_ASSIGN_OR_RETURN(ExprId inner, ParseExpr());
+      --depth_;
       if (!Consume(')')) {
         return Status::InvalidArgument("expected ')' at position " +
                                        std::to_string(pos_) + " in '" +
-                                       std::string(text_) + "'");
+                                       Excerpt(text_) + "'");
       }
       return inner;
     }
@@ -152,7 +170,7 @@ class Parser {
     if (pos_ == start) {
       return Status::InvalidArgument("expected attribute or '(' at position " +
                                      std::to_string(pos_) + " in '" +
-                                     std::string(text_) + "'");
+                                     Excerpt(text_) + "'");
     }
     return arena_->Attr(text_.substr(start, pos_ - start));
   }
@@ -160,6 +178,7 @@ class Parser {
   ExprArena* arena_;
   std::string_view text_;
   std::size_t pos_;
+  std::size_t depth_ = 0;  // open parentheses on the recursion path
 };
 
 }  // namespace
@@ -187,7 +206,7 @@ Result<Pd> ExprArena::ParsePd(std::string_view text) {
     rel_len = 1;
   } else {
     return Status::InvalidArgument("PD must contain '=' or '<=': '" +
-                                   std::string(text) + "'");
+                                   Excerpt(text) + "'");
   }
   PSEM_ASSIGN_OR_RETURN(ExprId lhs, Parse(text.substr(0, split)));
   PSEM_ASSIGN_OR_RETURN(ExprId rhs, Parse(text.substr(split + rel_len)));

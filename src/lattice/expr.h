@@ -95,6 +95,11 @@ class ExprArena {
   ///   factor := IDENT | '(' expr ')'
   Result<ExprId> Parse(std::string_view text);
 
+  /// Parser guard for untrusted input: parenthesis-nesting deeper than
+  /// this is rejected with kInvalidArgument instead of recursing (a
+  /// million-paren input must return a Status, not smash the stack).
+  static constexpr std::size_t kMaxParseDepth = 2000;
+
   /// Parses a PD: "e = e'" or "e <= e'".
   Result<Pd> ParsePd(std::string_view text);
 

@@ -193,4 +193,110 @@ bool WhitmanIterative::Leq(ExprId p, ExprId q,
   return ret;
 }
 
+namespace {
+// Deadline/cancel poll period for the governed deciders, in calls/frames.
+constexpr uint64_t kWhitmanCheckStride = 1024;
+}  // namespace
+
+// Governed twin of Leq over the same CallList dispatch. Recursion depth
+// is the |p|+|q| descent, so CheckDepth bounds the native stack; the memo
+// only ever receives fully decided subproblems, so an aborted query
+// leaves it sound and the decider reusable.
+Status WhitmanMemo::LeqImpl(ExprId p, ExprId q, uint64_t depth,
+                            const ExecContext& ctx, uint64_t* calls,
+                            bool* out) {
+  uint64_t key = PairKey(p, q);
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    *out = it->second;
+    return Status::OK();
+  }
+  PSEM_RETURN_IF_ERROR(ctx.CheckDepth(depth));
+  if ((++*calls % kWhitmanCheckStride) == 0) PSEM_RETURN_IF_ERROR(ctx.Check());
+
+  CallList c = MembersOf(*arena_, p, q);
+  bool res;
+  if (c.count == 0) {
+    res = c.leaf_value;
+  } else {
+    res = c.is_and;  // identity element of the connective
+    for (uint8_t i = 0; i < c.count; ++i) {
+      bool sub = false;
+      PSEM_RETURN_IF_ERROR(
+          LeqImpl(c.members[i].p, c.members[i].q, depth + 1, ctx, calls, &sub));
+      res = sub;
+      if (c.is_and ? !sub : sub) break;  // connective decided
+    }
+  }
+  memo_.emplace(key, res);
+  *out = res;
+  return Status::OK();
+}
+
+Result<bool> WhitmanMemo::LeqChecked(ExprId p, ExprId q,
+                                     const ExecContext& ctx) {
+  if (ctx.unbounded()) return Leq(p, q);
+  uint64_t calls = 0;
+  bool out = false;
+  PSEM_RETURN_IF_ERROR(LeqImpl(p, q, 1, ctx, &calls, &out));
+  return out;
+}
+
+Result<bool> WhitmanMemo::EqChecked(ExprId p, ExprId q,
+                                    const ExecContext& ctx) {
+  PSEM_ASSIGN_OR_RETURN(bool fwd, LeqChecked(p, q, ctx));
+  if (!fwd) return false;
+  return LeqChecked(q, p, ctx);
+}
+
+Result<bool> WhitmanIterative::LeqChecked(ExprId p, ExprId q,
+                                          const ExecContext& ctx,
+                                          WhitmanIterativeStats* stats) const {
+  if (ctx.unbounded()) return Leq(p, q, stats);
+  const ExprArena& a = *arena_;
+  std::vector<Frame> stack;
+  stack.push_back({p, q, 0});
+  std::size_t peak = 1, calls = 1;
+  bool ret = false;
+  bool have_return = false;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    CallList c = MembersOf(a, f.p, f.q);
+    if (c.count == 0) {
+      ret = c.leaf_value;
+      have_return = true;
+      stack.pop_back();
+      continue;
+    }
+    if (have_return) {
+      bool short_circuit = c.is_and ? !ret : ret;
+      if (short_circuit || f.next_member >= c.count) {
+        stack.pop_back();
+        continue;
+      }
+      have_return = false;
+    }
+    Member m = c.members[f.next_member++];
+    stack.push_back({m.p, m.q, 0});
+    ++calls;
+    peak = std::max(peak, stack.size());
+    PSEM_RETURN_IF_ERROR(ctx.CheckDepth(stack.size()));
+    if ((calls % kWhitmanCheckStride) == 0) PSEM_RETURN_IF_ERROR(ctx.Check());
+  }
+  if (stats != nullptr) {
+    stats->peak_stack_depth = std::max(stats->peak_stack_depth, peak);
+    stats->total_calls += calls;
+  }
+  assert(have_return);
+  return ret;
+}
+
+Result<bool> WhitmanIterative::EqChecked(ExprId p, ExprId q,
+                                         const ExecContext& ctx,
+                                         WhitmanIterativeStats* stats) const {
+  PSEM_ASSIGN_OR_RETURN(bool fwd, LeqChecked(p, q, ctx, stats));
+  if (!fwd) return false;
+  return LeqChecked(q, p, ctx, stats);
+}
+
 }  // namespace psem

@@ -29,6 +29,8 @@
 #include <unordered_map>
 
 #include "lattice/expr.h"
+#include "util/exec_context.h"
+#include "util/status.h"
 
 namespace psem {
 
@@ -50,10 +52,29 @@ class WhitmanMemo {
     return pd.is_equation ? Eq(pd.lhs, pd.rhs) : Leq(pd.lhs, pd.rhs);
   }
 
+  /// Governed variant of Leq: observes ctx's recursion-depth budget,
+  /// deadline, and cancel token (polled every ~1024 calls). On a trip it
+  /// returns the ctx Status; the memo keeps only the sub-verdicts that
+  /// completed (all sound), so the decider stays fully usable.
+  Result<bool> LeqChecked(ExprId p, ExprId q,
+                          const ExecContext& ctx = ExecContext::Unbounded());
+
+  Result<bool> EqChecked(ExprId p, ExprId q,
+                         const ExecContext& ctx = ExecContext::Unbounded());
+
+  Result<bool> IsIdentityChecked(
+      const Pd& pd, const ExecContext& ctx = ExecContext::Unbounded()) {
+    return pd.is_equation ? EqChecked(pd.lhs, pd.rhs, ctx)
+                          : LeqChecked(pd.lhs, pd.rhs, ctx);
+  }
+
   /// Number of memo entries (distinct subproblems touched).
   std::size_t memo_size() const { return memo_.size(); }
 
  private:
+  Status LeqImpl(ExprId p, ExprId q, uint64_t depth, const ExecContext& ctx,
+                 uint64_t* calls, bool* out);
+
   const ExprArena* arena_;
   std::unordered_map<uint64_t, bool> memo_;
 };
@@ -77,6 +98,17 @@ class WhitmanIterative {
   bool Eq(ExprId p, ExprId q, WhitmanIterativeStats* stats = nullptr) const {
     return Leq(p, q, stats) && Leq(q, p, stats);
   }
+
+  /// Governed variant: the live frame count is checked against ctx's
+  /// depth budget on every push, and the deadline/cancel token every
+  /// ~1024 frames. All state is local, so an early stop loses nothing.
+  Result<bool> LeqChecked(ExprId p, ExprId q,
+                          const ExecContext& ctx = ExecContext::Unbounded(),
+                          WhitmanIterativeStats* stats = nullptr) const;
+
+  Result<bool> EqChecked(ExprId p, ExprId q,
+                         const ExecContext& ctx = ExecContext::Unbounded(),
+                         WhitmanIterativeStats* stats = nullptr) const;
 
  private:
   const ExprArena* arena_;

@@ -20,8 +20,34 @@ const char* StatusCodeName(StatusCode code) {
       return "Inconsistent";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    case StatusCode::kResourceExhausted:
+      return 6;
+    case StatusCode::kInconsistent:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+    case StatusCode::kCancelled:
+      return 9;
+  }
+  return 1;
 }
 
 std::string Status::ToString() const {

@@ -6,6 +6,8 @@
 #define PSEM_UTIL_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -19,13 +21,20 @@ enum class StatusCode {
   kNotFound,          ///< Named attribute/relation/symbol does not exist.
   kFailedPrecondition,///< Object state does not admit the operation.
   kOutOfRange,        ///< Index or identifier outside the valid range.
-  kResourceExhausted, ///< A configured limit (e.g. lattice-closure cap) hit.
+  kResourceExhausted, ///< A configured limit (deadline, arc/node budget) hit.
   kInconsistent,      ///< A consistency test failed (domain-level, not a bug).
   kInternal,          ///< Invariant violation inside the library.
+  kCancelled,         ///< The caller's cancellation token was triggered.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
+
+/// Stable process exit code for a StatusCode (0 for kOk; 1 is reserved for
+/// failures outside the Status taxonomy, e.g. an unreadable script file).
+/// Used by the CLI so scripts can distinguish "inconsistent" from
+/// "undecided: budget" from "bad input".
+int ExitCodeFor(StatusCode code);
 
 /// A success-or-error outcome. Cheap to copy on the success path (no
 /// allocation); error path carries a message.
@@ -60,6 +69,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +89,19 @@ class Status {
   std::string msg_;
 };
 
+/// Fatal invariant check, active in ALL build types (unlike assert, which
+/// Release compiles away into silent UB). `msg` may be any expression
+/// convertible to std::string. Used on untrusted boundaries where
+/// continuing past a violated precondition would corrupt state.
+#define PSEM_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PSEM_CHECK failed at %s:%d: %s: %s\n",         \
+                   __FILE__, __LINE__, #cond, std::string(msg).c_str());   \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
 /// A value-or-error outcome. Holds T on success, a non-OK Status otherwise.
 template <typename T>
 class Result {
@@ -91,17 +116,19 @@ class Result {
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Access the contained value. Precondition: ok().
+  /// Access the contained value. Precondition: ok(). Violations abort with
+  /// the carried Status message in every build type — dereferencing an
+  /// error Result must never be a silent UB path in Release.
   const T& value() const& {
-    assert(ok());
+    PSEM_CHECK(ok(), "Result::value() on error: " + status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    PSEM_CHECK(ok(), "Result::value() on error: " + status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    PSEM_CHECK(ok(), "Result::value() on error: " + status_.ToString());
     return std::move(*value_);
   }
 

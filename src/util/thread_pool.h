@@ -17,21 +17,61 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace psem {
 
 /// Fixed set of worker threads consuming a FIFO task queue.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least 1).
+  /// Spawns `num_threads` workers (at least 1). Propagates
+  /// std::system_error if the OS refuses to create a thread; prefer
+  /// Create() on paths that must survive a degraded environment.
   explicit ThreadPool(std::size_t num_threads) {
     if (num_threads == 0) num_threads = 1;
     workers_.reserve(num_threads);
-    for (std::size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+    try {
+      for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+    } catch (...) {
+      // Join whatever did spawn before letting the error escape, so a
+      // partial pool never leaks running threads.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+      }
+      wake_workers_.notify_all();
+      for (auto& w : workers_) w.join();
+      throw;
+    }
+  }
+
+  /// Fallible construction: returns the pool, or a Status when thread
+  /// creation fails (resource exhaustion in the environment, or the
+  /// `psem.threadpool.spawn` fail point). Callers are expected to degrade
+  /// gracefully — e.g. PdImplicationEngine falls back to the serial sweep
+  /// and records the downgrade in AlgStats.
+  static Result<std::unique_ptr<ThreadPool>> Create(std::size_t num_threads) {
+    if (PSEM_FAILPOINT(failpoints::kThreadPoolSpawn)) {
+      return Status::ResourceExhausted(
+          "injected thread-creation failure (psem.threadpool.spawn)");
+    }
+    try {
+      return std::make_unique<ThreadPool>(num_threads);
+    } catch (const std::system_error& e) {
+      return Status::ResourceExhausted(
+          std::string("thread creation failed: ") + e.what());
+    } catch (const std::bad_alloc&) {
+      return Status::ResourceExhausted(
+          "thread creation failed: out of memory");
     }
   }
 

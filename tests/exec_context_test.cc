@@ -1,0 +1,149 @@
+// ExecContext unit tests: builder chaining, the unbounded fast path,
+// checkpoint precedence (cancellation wins over an expired deadline), and
+// every budget checker's trip/no-trip boundary.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/exec_context.h"
+
+namespace psem {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(ExecContextTest, DefaultIsUnbounded) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.unbounded());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.deadline_expired());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ExecContext::Unbounded().unbounded());
+}
+
+TEST(ExecContextTest, AnyControlLeavesUnboundedFastPath) {
+  EXPECT_FALSE(ExecContext().WithTimeout(milliseconds(100)).unbounded());
+  EXPECT_FALSE(ExecContext().WithCancelToken(CancelToken()).unbounded());
+  EXPECT_FALSE(ExecContext().WithMaxArcs(1).unbounded());
+  EXPECT_FALSE(ExecContext().WithMaxVertices(1).unbounded());
+  EXPECT_FALSE(ExecContext().WithMaxSolverNodes(1).unbounded());
+  EXPECT_FALSE(ExecContext().WithMaxDepth(1).unbounded());
+  EXPECT_FALSE(ExecContext().WithMaxRounds(1).unbounded());
+}
+
+TEST(ExecContextTest, BuildersChain) {
+  ExecContext ctx;
+  ctx.WithTimeout(milliseconds(50)).WithMaxArcs(10).WithMaxVertices(20);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_EQ(ctx.max_arcs(), 10u);
+  EXPECT_EQ(ctx.max_vertices(), 20u);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineIsResourceExhausted) {
+  ExecContext ctx;
+  ctx.WithDeadline(ExecContext::Clock::now() - milliseconds(1));
+  EXPECT_TRUE(ctx.deadline_expired());
+  Status st = ctx.Check();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, FutureDeadlinePasses) {
+  ExecContext ctx;
+  ctx.WithTimeout(std::chrono::hours(1));
+  EXPECT_FALSE(ctx.deadline_expired());
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, CancelTokenTripsCheck) {
+  CancelToken token;
+  ExecContext ctx;
+  ctx.WithCancelToken(token);
+  EXPECT_TRUE(ctx.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  token.Reset();
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, TokenCopiesShareOneFlag) {
+  CancelToken a;
+  CancelToken b = a;  // copy observes the same underlying flag
+  ExecContext ctx;
+  ctx.WithCancelToken(b);
+  a.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+}
+
+TEST(ExecContextTest, CancellationWinsOverExpiredDeadline) {
+  CancelToken token;
+  token.Cancel();
+  ExecContext ctx;
+  ctx.WithDeadline(ExecContext::Clock::now() - milliseconds(1))
+      .WithCancelToken(token);
+  // Both controls have tripped; the contract says kCancelled is reported.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, CancelFromAnotherThreadIsObserved) {
+  CancelToken token;
+  ExecContext ctx;
+  ctx.WithCancelToken(token);
+  std::thread t([&token] { token.Cancel(); });
+  t.join();
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, BudgetCheckersTripStrictlyAboveTheCap) {
+  ExecContext ctx;
+  ctx.WithMaxArcs(100)
+      .WithMaxVertices(10)
+      .WithMaxSolverNodes(5)
+      .WithMaxDepth(3)
+      .WithMaxRounds(2);
+  EXPECT_TRUE(ctx.CheckArcs(100).ok());
+  EXPECT_EQ(ctx.CheckArcs(101).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.CheckVertices(10).ok());
+  EXPECT_EQ(ctx.CheckVertices(11).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.CheckSolverNodes(5).ok());
+  EXPECT_EQ(ctx.CheckSolverNodes(6).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.CheckDepth(3).ok());
+  EXPECT_EQ(ctx.CheckDepth(4).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.CheckRounds(2).ok());
+  EXPECT_EQ(ctx.CheckRounds(3).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, ZeroBudgetMeansUnlimited) {
+  ExecContext ctx;  // all budgets default to 0
+  EXPECT_TRUE(ctx.CheckArcs(UINT64_MAX).ok());
+  EXPECT_TRUE(ctx.CheckVertices(UINT64_MAX).ok());
+  EXPECT_TRUE(ctx.CheckSolverNodes(UINT64_MAX).ok());
+  EXPECT_TRUE(ctx.CheckDepth(UINT64_MAX).ok());
+  EXPECT_TRUE(ctx.CheckRounds(UINT64_MAX).ok());
+}
+
+TEST(ExecContextTest, BudgetMessagesNameTheBudget) {
+  ExecContext ctx;
+  ctx.WithMaxArcs(1).WithMaxSolverNodes(1);
+  EXPECT_NE(ctx.CheckArcs(2).message().find("arc budget"), std::string::npos);
+  EXPECT_NE(ctx.CheckSolverNodes(2).message().find("node budget"),
+            std::string::npos);
+}
+
+TEST(ExecContextTest, ContextCopiesAreIndependentExceptTheToken) {
+  CancelToken token;
+  ExecContext a;
+  a.WithMaxArcs(7).WithCancelToken(token);
+  ExecContext b = a;
+  b.WithMaxArcs(9);
+  EXPECT_EQ(a.max_arcs(), 7u);
+  EXPECT_EQ(b.max_arcs(), 9u);
+  token.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());  // the token is shared by design
+}
+
+}  // namespace
+}  // namespace psem

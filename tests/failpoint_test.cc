@@ -1,0 +1,261 @@
+// Fault-injection tests: the FailPoints facility itself, plus a matrix
+// over every registered site proving the contract — an injected fault
+// surfaces as a clean non-OK Status (never a crash, never a silent wrong
+// answer), and after disarming, the same operation re-run on the same
+// object yields the verdict a cold, fault-free run gives.
+//
+// All tests skip at runtime when the build compiles the sites out
+// (PSEM_FAILPOINTS=OFF, the Release default).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chase/tableau.h"
+#include "consistency/cad.h"
+#include "consistency/nae3sat.h"
+#include "consistency/repair.h"
+#include "core/implication.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
+
+namespace psem {
+namespace {
+
+#define SKIP_WITHOUT_FAILPOINTS()                                     \
+  if (!FailPoints::Enabled()) {                                       \
+    GTEST_SKIP() << "fail points compiled out (PSEM_FAILPOINTS=OFF)"; \
+  }
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, CatalogListsEverySite) {
+  auto catalog = FailPoints::Catalog();
+  EXPECT_EQ(catalog.size(), 7u);
+  auto has = [&](const char* site) {
+    for (const char* s : catalog) {
+      if (std::string(s) == site) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(failpoints::kThreadPoolSpawn));
+  EXPECT_TRUE(has(failpoints::kAlgSeedAlloc));
+  EXPECT_TRUE(has(failpoints::kAlgSweep));
+  EXPECT_TRUE(has(failpoints::kChaseRound));
+  EXPECT_TRUE(has(failpoints::kRepairRound));
+  EXPECT_TRUE(has(failpoints::kNaeSearch));
+  EXPECT_TRUE(has(failpoints::kCadSearch));
+}
+
+TEST_F(FailPointTest, ArmFireCountSemantics) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const char* site = failpoints::kAlgSweep;
+  EXPECT_FALSE(FailPoints::Fire(site));  // unarmed: never fires
+  FailPoints::Arm(site, 2);
+  EXPECT_TRUE(FailPoints::Fire(site));
+  EXPECT_TRUE(FailPoints::Fire(site));
+  EXPECT_FALSE(FailPoints::Fire(site));  // count exhausted
+  EXPECT_EQ(FailPoints::FireCount(site), 2u);
+  FailPoints::Arm(site);  // -1: every execution
+  EXPECT_TRUE(FailPoints::Fire(site));
+  EXPECT_TRUE(FailPoints::Fire(site));
+  FailPoints::Disarm(site);
+  EXPECT_FALSE(FailPoints::Fire(site));
+}
+
+// --- matrix: one scenario per site -------------------------------------------
+
+std::vector<Pd> SmallTheory(ExprArena* arena) {
+  return {*arena->ParsePd("A*B <= C"), *arena->ParsePd("C <= D+E"),
+          *arena->ParsePd("D = A+B")};
+}
+
+TEST_F(FailPointTest, ThreadPoolSpawnDegradesToSerialSameVerdicts) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto pds = SmallTheory(&arena);
+  Pd query = *arena.ParsePd("A*B <= D+E");
+
+  PdImplicationEngine cold(&arena, pds);
+  bool expected = cold.Implies(query);
+
+  FailPoints::Arm(failpoints::kThreadPoolSpawn);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  PdImplicationEngine engine(&arena, pds, opts);
+
+  // Graceful degradation, not failure: construction succeeded, the
+  // downgrade is recorded, and every verdict matches the serial engine.
+  EXPECT_GE(FailPoints::FireCount(failpoints::kThreadPoolSpawn), 1u);
+  FailPoints::DisarmAll();
+  EXPECT_TRUE(engine.stats().degraded_to_serial);
+  EXPECT_FALSE(engine.stats().degradation_reason.empty());
+  EXPECT_EQ(engine.stats().num_threads, 1u);
+  EXPECT_EQ(engine.Implies(query), expected);
+}
+
+TEST_F(FailPointTest, AlgSeedAllocSurfacesAndEngineRecovers) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto pds = SmallTheory(&arena);
+  Pd query = *arena.ParsePd("A*B <= D+E");
+  PdImplicationEngine cold(&arena, pds);
+  bool expected = cold.Implies(query);
+
+  PdImplicationEngine engine(&arena, pds);
+  FailPoints::Arm(failpoints::kAlgSeedAlloc, 1);
+  auto r = engine.Implies(query, ExecContext::Unbounded());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("seed_alloc"), std::string::npos);
+  EXPECT_GE(engine.stats().aborted_closures, 1u);
+
+  FailPoints::DisarmAll();
+  auto retry = engine.Implies(query, ExecContext::Unbounded());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(*retry, expected);
+}
+
+TEST_F(FailPointTest, AlgSweepSurfacesAndEngineRecovers) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto pds = SmallTheory(&arena);
+  Pd query = *arena.ParsePd("A*B <= D+E");
+  PdImplicationEngine cold(&arena, pds);
+  bool expected = cold.Implies(query);
+
+  PdImplicationEngine engine(&arena, pds);
+  FailPoints::Arm(failpoints::kAlgSweep, 1);
+  auto r = engine.Implies(query, ExecContext::Unbounded());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("sweep"), std::string::npos);
+
+  FailPoints::DisarmAll();
+  // The partially swept matrix is a sound warm start: the retry converges
+  // to the same least fixpoint as the cold engine.
+  auto retry = engine.Implies(query, ExecContext::Unbounded());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(*retry, expected);
+}
+
+TEST_F(FailPointTest, AlgSweepParallelSurfacesAndRecovers) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto pds = SmallTheory(&arena);
+  Pd query = *arena.ParsePd("A*B <= D+E");
+  PdImplicationEngine cold(&arena, pds);
+  bool expected = cold.Implies(query);
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  PdImplicationEngine engine(&arena, pds, opts);
+  FailPoints::Arm(failpoints::kAlgSweep, 1);
+  auto r = engine.Implies(query, ExecContext::Unbounded());
+  FailPoints::DisarmAll();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+
+  auto retry = engine.Implies(query, ExecContext::Unbounded());
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(*retry, expected);
+}
+
+TEST_F(FailPointTest, ChaseRoundSurfacesAndRechaseMatchesCold) {
+  SKIP_WITHOUT_FAILPOINTS();
+  Database db;
+  std::size_t e = db.AddRelation("enrolled", {"Student", "Course"});
+  db.relation(e).AddRow(&db.symbols(), {"ann", "db101"});
+  db.relation(e).AddRow(&db.symbols(), {"bob", "db101"});
+  std::size_t t = db.AddRelation("taught_by", {"Course", "Prof"});
+  db.relation(t).AddRow(&db.symbols(), {"db101", "codd"});
+  std::vector<Fd> fds = {*Fd::Parse(&db.universe(), "Course -> Prof")};
+
+  Tableau cold_t = Tableau::Representative(db, db.universe().size());
+  ChaseResult cold = ChaseWithFds(&cold_t, fds);
+  ASSERT_TRUE(cold.status.ok());
+
+  FailPoints::Arm(failpoints::kChaseRound, 1);
+  Tableau tab = Tableau::Representative(db, db.universe().size());
+  ChaseResult injected = ChaseWithFds(&tab, fds);
+  ASSERT_FALSE(injected.status.ok());
+  EXPECT_EQ(injected.status.code(), StatusCode::kInternal);
+
+  FailPoints::DisarmAll();
+  ChaseResult resumed = ChaseWithFds(&tab, fds);
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_EQ(resumed.consistent, cold.consistent);
+}
+
+TEST_F(FailPointTest, RepairRoundSurfacesCleanly) {
+  SKIP_WITHOUT_FAILPOINTS();
+  Database db;
+  std::size_t t = db.AddRelation("taught_by", {"Course", "Prof"});
+  db.relation(t).AddRow(&db.symbols(), {"db101", "codd"});
+  ExprArena arena;
+  std::vector<Pd> pds = {*arena.ParsePd("Course <= Prof")};
+
+  FailPoints::Arm(failpoints::kRepairRound, 1);
+  auto r = MaterializeWeakInstance(&db, arena, pds);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("repair"), std::string::npos);
+
+  FailPoints::DisarmAll();
+  Database db2;
+  std::size_t t2 = db2.AddRelation("taught_by", {"Course", "Prof"});
+  db2.relation(t2).AddRow(&db2.symbols(), {"db101", "codd"});
+  auto retry = MaterializeWeakInstance(&db2, arena, pds);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(FailPointTest, NaeSearchSurfacesAsUndecidedInternal) {
+  SKIP_WITHOUT_FAILPOINTS();
+  NaeFormula f = NaeFormula::Parse("1 2 3; -1 -2 -3");
+  NaeSolveResult cold = NaeSolve(f);
+  ASSERT_TRUE(cold.decided);
+
+  FailPoints::Arm(failpoints::kNaeSearch, 1);
+  NaeSolveResult injected = NaeSolve(f);
+  ASSERT_FALSE(injected.decided);
+  EXPECT_EQ(injected.status.code(), StatusCode::kInternal);
+
+  FailPoints::DisarmAll();
+  NaeSolveResult retry = NaeSolve(f);
+  ASSERT_TRUE(retry.decided);
+  EXPECT_EQ(retry.assignment.has_value(), cold.assignment.has_value());
+}
+
+TEST_F(FailPointTest, CadSearchSurfacesAsUndecidedInternal) {
+  SKIP_WITHOUT_FAILPOINTS();
+  Database db;
+  std::size_t t = db.AddRelation("taught_by", {"Course", "Prof"});
+  db.relation(t).AddRow(&db.symbols(), {"db101", "codd"});
+  std::vector<Fd> fds = {*Fd::Parse(&db.universe(), "Course -> Prof")};
+  CadResult cold = CadConsistent(db, fds);
+  ASSERT_TRUE(cold.decided);
+
+  FailPoints::Arm(failpoints::kCadSearch, 1);
+  CadResult injected = CadConsistent(db, fds);
+  ASSERT_FALSE(injected.decided);
+  EXPECT_EQ(injected.status.code(), StatusCode::kInternal);
+
+  FailPoints::DisarmAll();
+  CadResult retry = CadConsistent(db, fds);
+  ASSERT_TRUE(retry.decided);
+  EXPECT_EQ(retry.consistent, cold.consistent);
+}
+
+TEST_F(FailPointTest, EverySiteHasAMatrixScenario) {
+  // Meta-check: a new failpoint added to the catalog without a matrix
+  // scenario above must fail this count, forcing the test to grow.
+  EXPECT_EQ(FailPoints::Catalog().size(), 7u)
+      << "new fail point registered: add a matrix scenario to this file";
+}
+
+}  // namespace
+}  // namespace psem

@@ -1,0 +1,206 @@
+// Malformed-input corpus for the untrusted boundaries: the expression/PD
+// parser and the CSV reader. Every case here must come back as a clean
+// kInvalidArgument Status — never a crash, a hang, or a half-mutated
+// database — and the deep-nesting cases must trip the explicit depth
+// limit instead of exhausting the real call stack.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/csv.h"
+#include "lattice/expr.h"
+#include "util/status.h"
+
+namespace psem {
+namespace {
+
+// --- expression / PD parser ------------------------------------------------
+
+TEST(MalformedExprTest, EmptyAndWhitespaceInputs) {
+  ExprArena arena;
+  for (const char* text : {"", " ", "\t\n", "   \r\n  "}) {
+    EXPECT_FALSE(arena.Parse(text).ok()) << "input: '" << text << "'";
+    EXPECT_FALSE(arena.ParsePd(text).ok()) << "input: '" << text << "'";
+  }
+}
+
+TEST(MalformedExprTest, TruncatedExpressions) {
+  ExprArena arena;
+  for (const char* text : {"A*", "A+", "(A", "A*(B+", "A <= ", " = B",
+                           "A =", "(", "A*B)", "((A)"}) {
+    auto e = arena.Parse(text);
+    auto pd = arena.ParsePd(text);
+    EXPECT_FALSE(e.ok() && pd.ok()) << "input: '" << text << "'";
+    if (!e.ok()) {
+      EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(MalformedExprTest, NonUtf8BytesAreRejectedNotCrashed) {
+  ExprArena arena;
+  std::string junk;
+  for (int b = 0x80; b <= 0xFF; ++b) junk += static_cast<char>(b);
+  EXPECT_FALSE(arena.Parse(junk).ok());
+  EXPECT_FALSE(arena.ParsePd(junk).ok());
+  // Embedded NUL and control bytes inside an otherwise-plausible PD.
+  std::string embedded = "A ";
+  embedded += '\0';
+  embedded += "\x01\x7f <= B";
+  EXPECT_FALSE(arena.ParsePd(embedded).ok());
+}
+
+TEST(MalformedExprTest, DeepNestingHitsTheDepthLimitNotTheStack) {
+  // 64k balanced parens: far past kMaxParseDepth, far below what would be
+  // needed to smash a real stack if the limit were absent — the point is
+  // the *clean* kInvalidArgument.
+  ExprArena arena;
+  const std::size_t depth = 64 * 1024;
+  std::string text(depth, '(');
+  text += 'A';
+  text.append(depth, ')');
+  auto e = arena.Parse(text);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(e.status().message().find("depth"), std::string::npos);
+}
+
+TEST(MalformedExprTest, MillionOpenParensDoNotSmashTheStack) {
+  // A 10^6-paren truncated input: the parser must bail out at the depth
+  // limit long before recursing a million frames.
+  ExprArena arena;
+  std::string text(1000 * 1000, '(');
+  auto e = arena.Parse(text);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MalformedExprTest, NestingJustBelowTheLimitStillParses) {
+  ExprArena arena;
+  const std::size_t depth = ExprArena::kMaxParseDepth - 1;
+  std::string text(depth, '(');
+  text += 'A';
+  text.append(depth, ')');
+  auto e = arena.Parse(text);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+}
+
+TEST(MalformedExprTest, HugeErrorInputsProduceBoundedMessages) {
+  // Error messages quote an excerpt, not the whole (potentially huge)
+  // input — a 1 MB bad input must not yield a 1 MB error string.
+  ExprArena arena;
+  std::string text = ";" + std::string(1000 * 1000, 'x');
+  auto e = arena.Parse(text);
+  ASSERT_FALSE(e.ok());
+  EXPECT_LT(e.status().message().size(), 512u);
+}
+
+// --- CSV reader --------------------------------------------------------------
+
+TEST(MalformedCsvTest, EmptyInputNeedsHeader) {
+  Database db;
+  auto r = LoadCsvRelation("", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.num_relations(), 0u);
+}
+
+TEST(MalformedCsvTest, DuplicateHeaderAttributesRejected) {
+  Database db;
+  auto r = LoadCsvRelation("A,B,A\n1,2,3\n", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+  EXPECT_EQ(db.num_relations(), 0u);
+}
+
+TEST(MalformedCsvTest, TruncatedQuotedFieldRejected) {
+  Database db;
+  auto r = LoadCsvRelation("A,B\n\"unterminated,2\n", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.num_relations(), 0u);
+}
+
+TEST(MalformedCsvTest, FieldCountMismatchRejected) {
+  Database db;
+  auto r = LoadCsvRelation("A,B\n1,2\n1,2,3\n", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MalformedCsvTest, OversizedFieldRejected) {
+  Database db;
+  std::string csv = "A,B\n1," + std::string(kMaxCsvFieldBytes + 1, 'v') + "\n";
+  auto r = LoadCsvRelation(csv, &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("maximum length"), std::string::npos);
+}
+
+TEST(MalformedCsvTest, TooManyFieldsRejected) {
+  Database db;
+  std::string header = "A0";
+  for (std::size_t i = 1; i <= kMaxCsvFields; ++i) {
+    header += ",A" + std::to_string(i);
+  }
+  auto r = LoadCsvRelation(header + "\n", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("fields"), std::string::npos);
+}
+
+TEST(MalformedCsvTest, OversizedInputRejected) {
+  Database db;
+  std::string csv = "A\n";
+  csv.resize(kMaxCsvBytes + 1, 'x');
+  auto r = LoadCsvRelation(csv, &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("exceeds the maximum"),
+            std::string::npos);
+}
+
+TEST(MalformedCsvTest, ErrorsAreAllOrNothing) {
+  // A database that already holds data must be completely untouched when
+  // a later CSV load fails on its last row.
+  Database db;
+  ASSERT_TRUE(LoadCsvRelation("A,B\nx,y\n", &db, "good").ok());
+  ASSERT_EQ(db.num_relations(), 1u);
+  std::size_t symbols_before = db.symbols().size();
+  auto r = LoadCsvRelation("C,D\n1,2\n3,4\n5\n", &db, "bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(db.num_relations(), 1u);
+  EXPECT_EQ(db.symbols().size(), symbols_before);
+}
+
+TEST(MalformedCsvTest, NonUtf8BytesSurviveOrFailCleanly) {
+  // Arbitrary bytes in field values: the reader treats CSV as bytes, so
+  // this either loads or errors — it must not crash either way.
+  Database db;
+  std::string csv = "A,B\n\x80\xff,\xfe\n";
+  auto r = LoadCsvRelation(csv, &db);
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// --- Result<T>::value() on error is a hard abort ----------------------------
+
+using MalformedInputDeathTest = ::testing::Test;
+
+TEST(MalformedInputDeathTest, ResultValueOnErrorAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Result<int> r(Status::InvalidArgument("boom"));
+  EXPECT_DEATH({ (void)r.value(); }, "PSEM_CHECK failed");
+}
+
+TEST(MalformedInputDeathTest, ResultDerefOnParserErrorAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ExprArena arena;
+  EXPECT_DEATH({ (void)*arena.Parse("(((malformed"); }, "PSEM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace psem
