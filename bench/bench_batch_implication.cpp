@@ -39,7 +39,7 @@ constexpr int kStreamLen = 32;
 // it (measured counters V_theory / V_batch report the actual values).
 void SetupWorkload(ExprArena* arena, std::vector<Pd>* theory,
                    std::vector<Pd>* queries, int num_queries = kBatchSize) {
-  Rng rng(424242);
+  Rng rng = MakeBenchRng(424242);
   *theory = RandomTheory(arena, &rng, kNumAttrs, kNumPds, kTheoryOps);
   *queries = RandomQueries(arena, &rng, kNumAttrs, num_queries, kQueryOps);
 }
@@ -157,4 +157,3 @@ BENCHMARK(BM_WarmCacheQueries);
 
 }  // namespace
 
-BENCHMARK_MAIN();

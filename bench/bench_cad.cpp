@@ -71,4 +71,3 @@ BENCHMARK(BM_NaeDpllDirect)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -65,4 +65,3 @@ BENCHMARK(BM_EncodeGraph)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();

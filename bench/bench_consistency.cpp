@@ -18,7 +18,7 @@ void BM_PdConsistencyVsRows(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Database db;
-    Rng rng(42);
+    Rng rng = MakeBenchRng(42);
     RandomFragmentedDatabase(&db, &rng, /*num_attrs=*/6, /*num_relations=*/4,
                              rows, /*symbols_per_attr=*/rows / 2 + 2);
     ExprArena arena;
@@ -38,7 +38,7 @@ void BM_PdConsistencyVsTheorySize(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Database db;
-    Rng rng(43);
+    Rng rng = MakeBenchRng(43);
     RandomFragmentedDatabase(&db, &rng, /*num_attrs=*/num_pds + 2,
                              /*num_relations=*/4, /*rows=*/16,
                              /*symbols_per_attr=*/8);
@@ -59,7 +59,7 @@ BENCHMARK(BM_PdConsistencyVsTheorySize)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
 void BM_HoneymanChase(benchmark::State& state) {
   int rows = static_cast<int>(state.range(0));
   Database db;
-  Rng rng(44);
+  Rng rng = MakeBenchRng(44);
   RandomFragmentedDatabase(&db, &rng, /*num_attrs=*/8, /*num_relations=*/6,
                            rows, /*symbols_per_attr=*/rows / 2 + 2);
   Universe* u = &db.universe();
@@ -82,7 +82,7 @@ BENCHMARK(BM_HoneymanChase)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
 void BM_NormalizeOnly(benchmark::State& state) {
   int num_pds = static_cast<int>(state.range(0));
   ExprArena arena;
-  Rng rng(7);
+  Rng rng = MakeBenchRng(7);
   std::vector<Pd> pds = RandomTheory(&arena, &rng, num_pds + 2, num_pds, 4);
   for (auto _ : state) {
     Universe u;
@@ -94,4 +94,3 @@ BENCHMARK(BM_NormalizeOnly)->Arg(4)->Arg(16)->Arg(64)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -71,7 +71,7 @@ BENCHMARK(BM_ModelFinderExhaustiveFailure)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_SimplifyRandomExpr(benchmark::State& state) {
   ExprArena arena;
-  Rng rng(11);
+  Rng rng = MakeBenchRng(11);
   int ops = static_cast<int>(state.range(0));
   std::vector<ExprId> exprs;
   for (int i = 0; i < 32; ++i) {
@@ -100,7 +100,7 @@ BENCHMARK(BM_RewriteSearchProjection)->Unit(benchmark::kMicrosecond);
 void BM_ArmstrongConstruction(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Universe u;
-  Rng rng(12);
+  Rng rng = MakeBenchRng(12);
   FdTheory t(&u);
   auto fds = RandomFds(&u, &rng, n, n, 2);
   for (const Fd& fd : fds) t.Add(fd);
@@ -119,7 +119,7 @@ BENCHMARK(BM_ArmstrongConstruction)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
 void BM_SemigroupNormalForm(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Universe u;
-  Rng rng(13);
+  Rng rng = MakeBenchRng(13);
   auto fds = RandomFds(&u, &rng, n, 2 * n, 2);
   IcSemigroupTheory sg = IcSemigroupTheory::FromFds(&u, fds);
   AttrSet x(u.size());
@@ -134,7 +134,7 @@ BENCHMARK(BM_SemigroupNormalForm)->Arg(8)->Arg(32)->Arg(128)->Complexity();
 void BM_BcnfDecomposition(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Universe u;
-  Rng rng(14);
+  Rng rng = MakeBenchRng(14);
   FdTheory t(&u);
   for (const Fd& fd : RandomFds(&u, &rng, n, n, 2)) t.Add(fd);
   AttrSet scheme(u.size());
@@ -150,7 +150,7 @@ BENCHMARK(BM_BcnfDecomposition)->Arg(4)->Arg(8)->Arg(16)->Complexity();
 void BM_FdDiscovery(benchmark::State& state) {
   int rows = static_cast<int>(state.range(0));
   Database db;
-  Rng rng(15);
+  Rng rng = MakeBenchRng(15);
   std::size_t ri = db.AddRelation("R", {"A", "B", "C", "D", "E"});
   for (int i = 0; i < rows; ++i) {
     db.relation(ri).AddRow(&db.symbols(),
@@ -186,4 +186,3 @@ BENCHMARK(BM_PdPatternDiscovery)->Arg(32)->Arg(128)->Arg(512)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();

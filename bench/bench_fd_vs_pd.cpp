@@ -22,7 +22,7 @@ struct FdWorkload {
 
 FdWorkload MakeWorkload(int num_attrs, int num_fds) {
   FdWorkload w;
-  Rng rng(4321);
+  Rng rng = MakeBenchRng(4321);
   w.fds = RandomFds(&w.universe, &rng, num_attrs, num_fds, 3);
   for (int i = 0; i < 16; ++i) {
     auto q = RandomFds(&w.universe, &rng, num_attrs, 1, 3);
@@ -104,4 +104,3 @@ BENCHMARK(BM_KeyEnumeration)->Arg(6)->Arg(10)->Arg(14);
 
 }  // namespace
 
-BENCHMARK_MAIN();

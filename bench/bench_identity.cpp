@@ -46,7 +46,7 @@ BENCHMARK(BM_WhitmanIterativeDeep)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
 
 void BM_WhitmanMemoRandom(benchmark::State& state) {
   ExprArena arena;
-  Rng rng(99);
+  Rng rng = MakeBenchRng(99);
   int ops = static_cast<int>(state.range(0));
   std::vector<std::pair<ExprId, ExprId>> pairs;
   for (int i = 0; i < 32; ++i) {
@@ -69,7 +69,7 @@ BENCHMARK(BM_WhitmanMemoRandom)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 // fragment deserves its own decider.
 void BM_IdentityViaAlg(benchmark::State& state) {
   ExprArena arena;
-  Rng rng(99);
+  Rng rng = MakeBenchRng(99);
   int ops = static_cast<int>(state.range(0));
   std::vector<std::pair<ExprId, ExprId>> pairs;
   for (int i = 0; i < 32; ++i) {
@@ -88,4 +88,3 @@ BENCHMARK(BM_IdentityViaAlg)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();

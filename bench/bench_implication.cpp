@@ -17,7 +17,7 @@ using namespace psem::bench;
 
 // Random theory sized so that |V| grows linearly with the range arg.
 void SetupTheory(int size, ExprArena* arena, std::vector<Pd>* pds, Pd* query) {
-  Rng rng(1234);
+  Rng rng = MakeBenchRng(1234);
   *pds = RandomTheory(arena, &rng, /*num_attrs=*/8, /*num_pds=*/size,
                       /*max_ops=*/4);
   ExprId l = RandomExpr(arena, &rng, 8, 4);
@@ -78,7 +78,7 @@ void BM_AlgEnginePreparedQueries(benchmark::State& state) {
   std::vector<ExprId> attrs;
   for (int i = 0; i < 64; ++i) attrs.push_back(arena.Attr("A" + std::to_string(i)));
   engine.Prepare(attrs);
-  Rng rng(5);
+  Rng rng = MakeBenchRng(5);
   for (auto _ : state) {
     ExprId a = attrs[rng.Below(64)];
     ExprId b = attrs[rng.Below(64)];
@@ -89,4 +89,3 @@ BENCHMARK(BM_AlgEnginePreparedQueries);
 
 }  // namespace
 
-BENCHMARK_MAIN();

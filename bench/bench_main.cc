@@ -1,0 +1,66 @@
+// Shared main for every benchmark binary. Two provenance jobs:
+//
+//  1. Embed the library's build type into the JSON context as
+//     "psem_build_type". google-benchmark's own "library_build_type"
+//     field reports how the *benchmark library* was compiled — on systems
+//     whose packaged libbenchmark is a debug build it says "debug" even
+//     when the code under test is -O3, which is exactly the trap the
+//     committed BENCH_*.json artifacts fell into once. The record script
+//     (scripts/record_bench.py) keys on psem_build_type instead.
+//
+//  2. Refuse to write a benchmark artifact from a non-Release build:
+//     numbers from -O0 code are not comparable and must not end up in a
+//     committed BENCH_*.json. Console runs still work (with a warning);
+//     set PSEM_BENCH_ALLOW_DEBUG=1 to override for debugging the
+//     harness itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef PSEM_BUILD_TYPE
+#define PSEM_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+bool IsRelease() {
+  // Match "Release" and "RelWithDebInfo"; anything else is unfit for
+  // recorded numbers.
+  return std::strncmp(PSEM_BUILD_TYPE, "Rel", 3) == 0;
+}
+
+bool WantsFileOutput(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("psem_build_type", PSEM_BUILD_TYPE);
+  if (!IsRelease()) {
+    if (WantsFileOutput(argc, argv) &&
+        std::getenv("PSEM_BENCH_ALLOW_DEBUG") == nullptr) {
+      std::fprintf(stderr,
+                   "refusing to record benchmark output from a %s build; "
+                   "rebuild with -DCMAKE_BUILD_TYPE=Release "
+                   "(or set PSEM_BENCH_ALLOW_DEBUG=1 to override)\n",
+                   PSEM_BUILD_TYPE);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "warning: benchmarking a %s build; numbers are not "
+                 "comparable to recorded Release artifacts\n",
+                 PSEM_BUILD_TYPE);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,7 +36,7 @@ void BuildStar(Database* db, Rng* rng, int facts, int dims) {
 void BM_ConjunctiveQueryJoin(benchmark::State& state) {
   int facts = static_cast<int>(state.range(0));
   Database db;
-  Rng rng(71);
+  Rng rng = MakeBenchRng(71);
   BuildStar(&db, &rng, facts, facts / 4 + 2);
   auto q = *ConjunctiveQuery::Parse(
       "ans(K, X, Y) :- fact(K, A, B), dim1(A, X), dim2(B, Y)");
@@ -51,7 +51,7 @@ BENCHMARK(BM_ConjunctiveQueryJoin)->Arg(32)->Arg(128)->Arg(512)->Complexity();
 void BM_CertainAnswersOverChase(benchmark::State& state) {
   int facts = static_cast<int>(state.range(0));
   Database db;
-  Rng rng(72);
+  Rng rng = MakeBenchRng(72);
   BuildStar(&db, &rng, facts, facts / 4 + 2);
   std::vector<Fd> fds = {*Fd::Parse(&db.universe(), "D1 -> X"),
                          *Fd::Parse(&db.universe(), "D2 -> Y"),
@@ -72,7 +72,7 @@ void BM_CongruenceClosure(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     ExprArena arena;
-    Rng rng(73);
+    Rng rng = MakeBenchRng(73);
     std::vector<ExprId> exprs;
     for (int i = 0; i < n; ++i) {
       exprs.push_back(RandomExpr(&arena, &rng, 5, 3));
@@ -107,4 +107,3 @@ BENCHMARK(BM_LatticeDotExport);
 
 }  // namespace
 
-BENCHMARK_MAIN();

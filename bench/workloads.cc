@@ -3,6 +3,12 @@
 namespace psem {
 namespace bench {
 
+Rng MakeBenchRng(uint64_t stream) {
+  // Offset each stream by a large odd constant so streams 0,1,2,... land
+  // in unrelated regions of the splitmix64 sequence.
+  return Rng(kBenchSeed + stream * 0x9e3779b97f4a7c15ull);
+}
+
 ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops) {
   if (ops == 0) {
     return arena->Attr("A" + std::to_string(rng->Below(num_attrs)));

@@ -15,6 +15,17 @@
 namespace psem {
 namespace bench {
 
+/// The one seed every benchmark workload derives from. Changing it (or
+/// any generator below) invalidates comparisons against committed
+/// BENCH_*.json artifacts — treat it as part of the benchmark contract.
+inline constexpr uint64_t kBenchSeed = 0x9d5ecb852f1a7c03ull;
+
+/// Deterministic per-stream generator: the same (seed, stream) pair
+/// always yields the same workload, and distinct streams are decorrelated
+/// splitmix64 states. Every benchmark harness seeds through this instead
+/// of ad-hoc integer literals.
+Rng MakeBenchRng(uint64_t stream);
+
 /// Random partition expression over `num_attrs` attributes with exactly
 /// `ops` operator nodes.
 ExprId RandomExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops);

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Run a benchmark binary and record a provenance-corrected JSON artifact.
+
+google-benchmark's JSON context reports `library_build_type` for the
+*benchmark library* itself, not for the code under test — on distros that
+ship a debug libbenchmark, every artifact says "debug" even when the
+library under test was compiled -O3 (the committed BENCH_implication.json
+was bitten by exactly this). The bench binaries therefore embed their own
+build type as `psem_build_type` (see bench/bench_main.cc); this script
+
+  1. runs the binary with JSON output,
+  2. refuses to record unless psem_build_type is a Release flavor
+     (override with --allow-debug for harness debugging only),
+  3. rewrites `library_build_type` from psem_build_type, preserving the
+     original value as `benchmark_library_build_type`.
+
+Usage:
+  record_bench.py BINARY -o OUT.json [--allow-debug] [-- BENCH_ARGS...]
+
+Note: the packaged google-benchmark predates the `Ns`-suffixed form of
+--benchmark_min_time; pass plain doubles (e.g. --benchmark_min_time=0.1).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("binary", help="benchmark binary to run")
+    parser.add_argument("-o", "--output", required=True, help="output JSON path")
+    parser.add_argument(
+        "--allow-debug",
+        action="store_true",
+        help="record even from a non-Release build (harness debugging only)",
+    )
+    argv = sys.argv[1:]
+    bench_args = []
+    if "--" in argv:
+        split = argv.index("--")
+        argv, bench_args = argv[:split], argv[split + 1 :]
+    args = parser.parse_args(argv)
+    args.bench_args = bench_args
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    cmd = [
+        args.binary,
+        f"--benchmark_out={raw_path}",
+        "--benchmark_out_format=json",
+    ] + args.bench_args
+    env_note = {"PSEM_BENCH_ALLOW_DEBUG": "1"} if args.allow_debug else {}
+    import os
+
+    env = dict(os.environ, **env_note)
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        print(f"error: {' '.join(cmd)} exited {proc.returncode}", file=sys.stderr)
+        return proc.returncode
+
+    with open(raw_path) as f:
+        doc = json.load(f)
+    context = doc.get("context", {})
+    psem_build = context.get("psem_build_type", "unknown")
+    if not psem_build.startswith("Rel") and not args.allow_debug:
+        print(
+            f"error: refusing to record psem_build_type={psem_build!r}; "
+            "rebuild with -DCMAKE_BUILD_TYPE=Release or pass --allow-debug",
+            file=sys.stderr,
+        )
+        return 1
+
+    # The provenance fix: library_build_type describes the code under
+    # test; the benchmark library's own build flavor moves aside.
+    if "library_build_type" in context:
+        context["benchmark_library_build_type"] = context["library_build_type"]
+    context["library_build_type"] = (
+        "release" if psem_build.startswith("Rel") else psem_build.lower()
+    )
+    doc["context"] = context
+
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"recorded {len(doc.get('benchmarks', []))} benchmarks -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

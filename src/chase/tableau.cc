@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "partition/dense.h"
 #include "util/failpoint.h"
 
 namespace psem {
@@ -89,6 +90,16 @@ ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds,
   ChaseResult result;
   const bool governed = !ctx.unbounded();
   const std::size_t n = tableau->num_rows();
+  // Row grouping runs on the dense kernels: the rows agreeing on X are
+  // exactly the blocks of the one-block partition refined by each X
+  // column's resolved value. Scratch is hoisted so rounds allocate
+  // nothing once the buffers reach their high-water marks.
+  DenseOps ops;
+  DensePartition ones, px, pxt;
+  ones.labels.assign(n, 0);
+  ones.num_blocks = n == 0 ? 0 : 1;
+  ones.present = static_cast<uint32_t>(n);
+  std::vector<uint32_t> first;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -126,43 +137,40 @@ ChaseResult ChaseWithFds(Tableau* tableau, const std::vector<Fd>& fds,
         if (a < tableau->width()) ycols.push_back(a);
       });
       if (xcols.empty()) continue;
-      // Hash rows by resolved X projection.
-      std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
-      for (uint32_t r = 0; r < n; ++r) {
-        uint64_t h = 0xcbf29ce484222325ull;
-        for (std::size_t c : xcols) {
-          h ^= tableau->Resolve(r, c);
-          h *= 0x100000001b3ull;
-        }
-        buckets[h].push_back(r);
+      // Group rows by resolved X projection: refine the one-block
+      // partition by each X column. Merges applied below only ever unite
+      // value classes, so rows grouped together stay X-equal; newly equal
+      // projections are caught by the next round of the fixpoint.
+      const DensePartition* cur = &ones;
+      for (std::size_t c : xcols) {
+        DensePartition* next = (cur == &px) ? &pxt : &px;
+        ops.RefineBy(
+            *cur,
+            [&](std::size_t r) {
+              return tableau->Resolve(static_cast<std::size_t>(r), c);
+            },
+            next);
+        cur = next;
       }
-      for (auto& [h, rows] : buckets) {
-        (void)h;
-        if (rows.size() < 2) continue;
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-          for (std::size_t j = i + 1; j < rows.size(); ++j) {
-            bool agree = true;
-            for (std::size_t c : xcols) {
-              if (tableau->Resolve(rows[i], c) !=
-                  tableau->Resolve(rows[j], c)) {
-                agree = false;
-                break;
-              }
-            }
-            if (!agree) continue;
-            for (std::size_t c : ycols) {
-              if (tableau->Resolve(rows[i], c) ==
-                  tableau->Resolve(rows[j], c)) {
-                continue;
-              }
-              Status st = tableau->EquateCells(rows[i], c, rows[j], c);
-              ++result.merges;
-              changed = true;
-              if (!st.ok()) {
-                result.consistent = false;
-                return result;
-              }
-            }
+      // Equate every row's Y cells with its group's first row (the chase
+      // is confluent, so chaining to the first row reaches the same
+      // fixpoint as the pairwise sweep).
+      first.assign(cur->num_blocks, UINT32_MAX);
+      for (uint32_t r = 0; r < n; ++r) {
+        uint32_t l = cur->labels[r];
+        if (first[l] == UINT32_MAX) {
+          first[l] = r;
+          continue;
+        }
+        uint32_t f = first[l];
+        for (std::size_t c : ycols) {
+          if (tableau->Resolve(f, c) == tableau->Resolve(r, c)) continue;
+          Status st = tableau->EquateCells(f, c, r, c);
+          ++result.merges;
+          changed = true;
+          if (!st.ok()) {
+            result.consistent = false;
+            return result;
           }
         }
       }

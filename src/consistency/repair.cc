@@ -5,31 +5,46 @@
 
 #include "chase/tableau.h"
 #include "core/fd_theory.h"
+#include "partition/dense.h"
 #include "util/failpoint.h"
-#include "util/union_find.h"
 
 namespace psem {
 
 namespace {
 
+// Per-round scan state: the kernel scratch and the column/sum partitions
+// are reused across repair rounds so the steady state allocates nothing.
+struct ViolationScan {
+  DenseOps ops;
+  std::vector<uint32_t> values;
+  DensePartition pa, pb, pc, sum;
+  std::vector<uint32_t> first;  // c-label -> first row
+};
+
 // Connected components of rows within each C-group, chained by equality
-// on column a or column b. Returns one (i, j) violating pair per
-// violation round, or nullopt.
+// on column a or column b: the components are exactly the blocks of
+// pi_a + pi_b, so the scan is two GroupByValues, one dense Sum, and one
+// pass comparing each row's component with its C-group's first row.
+// Returns one (i, j) violating pair per violation round, or nullopt.
 std::optional<std::pair<uint32_t, uint32_t>> FindSumUpperViolation(
-    const Relation& w, std::size_t cc, std::size_t ca, std::size_t cb) {
-  UnionFind uf(w.size());
-  std::unordered_map<ValueId, uint32_t> first_a, first_b;
-  for (uint32_t i = 0; i < w.size(); ++i) {
-    auto [ita, ia] = first_a.emplace(w.row(i)[ca], i);
-    if (!ia) uf.Union(ita->second, i);
-    auto [itb, ib] = first_b.emplace(w.row(i)[cb], i);
-    if (!ib) uf.Union(itb->second, i);
-  }
-  std::unordered_map<ValueId, uint32_t> first_c;
-  for (uint32_t i = 0; i < w.size(); ++i) {
-    auto [itc, ic] = first_c.emplace(w.row(i)[cc], i);
-    if (!ic && !uf.Connected(itc->second, i)) {
-      return std::make_pair(itc->second, i);
+    const Relation& w, std::size_t cc, std::size_t ca, std::size_t cb,
+    ViolationScan* s) {
+  const uint32_t n = w.size();
+  s->values.resize(n);
+  for (uint32_t i = 0; i < n; ++i) s->values[i] = w.row(i)[ca];
+  s->ops.GroupByValues(s->values, &s->pa);
+  for (uint32_t i = 0; i < n; ++i) s->values[i] = w.row(i)[cb];
+  s->ops.GroupByValues(s->values, &s->pb);
+  for (uint32_t i = 0; i < n; ++i) s->values[i] = w.row(i)[cc];
+  s->ops.GroupByValues(s->values, &s->pc);
+  s->ops.Sum(s->pa, s->pb, &s->sum);
+  s->first.assign(s->pc.num_blocks, UINT32_MAX);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t l = s->pc.labels[i];
+    if (s->first[l] == UINT32_MAX) {
+      s->first[l] = i;
+    } else if (s->sum.labels[s->first[l]] != s->sum.labels[i]) {
+      return std::make_pair(s->first[l], i);
     }
   }
   return std::nullopt;
@@ -80,6 +95,7 @@ Result<MaterializedWeakInstance> MaterializeWeakInstance(
   for (const Fd& fd : norm.fpds) f_theory.Add(fd);
 
   MaterializedWeakInstance out{std::move(w), 0, 0};
+  ViolationScan scan;
   // Repair loop (Lemma 12.1): fix one violation per iteration. The budget
   // bounds the number of FIXES; a quiescent instance returns regardless.
   // An abort between rounds is harmless: the instance plus any bridging
@@ -96,7 +112,7 @@ Result<MaterializedWeakInstance> MaterializeWeakInstance(
     }
     bool violated = false;
     for (const SumUpperConstraint& su : norm.sum_uppers) {
-      auto v = FindSumUpperViolation(out.instance, su.c, su.a, su.b);
+      auto v = FindSumUpperViolation(out.instance, su.c, su.a, su.b, &scan);
       if (!v) continue;
       violated = true;
       if (round >= max_rounds) {

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "partition/eval_context.h"
 #include "partition/partition_lattice.h"
 
 namespace psem {
@@ -23,46 +24,54 @@ std::vector<AttrId> CollectAttrIds(const ExprArena& arena,
   return {attrs.begin(), attrs.end()};
 }
 
-// Recursive assignment search over partitions of [k].
+// Recursive assignment search over partitions of [k]. The hot loop runs
+// entirely on the dense kernel layer: candidates are DensePartitions over
+// the identity universe {0..k-1}, PD checks evaluate on the raw dense
+// assignment, and no interpretation (naming functions, string symbols) is
+// constructed until a model is actually found.
 struct Search {
   const ExprArena& arena;
-  const std::vector<Pd>& e;
   const Pd* query;  // nullptr: pure satisfiability
   const std::vector<AttrId>& attrs;
-  const std::vector<Partition>& candidates;
-  PartitionInterpretation interp;
+  const std::vector<DensePartition>& candidates;
+  std::vector<const DensePartition*> assign;  // AttrId -> candidate
+  std::vector<std::size_t> chosen;            // position -> candidate index
 
   // PDs whose attribute sets become fully assigned at position i are
   // checked right after attrs[i] is assigned.
   std::vector<std::vector<const Pd*>> check_at;
 
+  DenseOps ops;
+  DensePartition prod;
+
+  bool SatisfiesDense(const Pd& pd) {
+    Result<DensePartition> l = EvalDenseAssignment(arena, pd.lhs, assign, &ops);
+    Result<DensePartition> r = EvalDenseAssignment(arena, pd.rhs, assign, &ops);
+    if (!l.ok() || !r.ok()) return false;  // unassigned attribute
+    if (pd.is_equation) return *l == *r;
+    ops.Product(*l, *r, &prod);
+    return *l == prod;
+  }
+
   bool Dfs(std::size_t i) {
     if (i == attrs.size()) {
       if (query == nullptr) return true;
-      return !*interp.Satisfies(arena, *query);
+      return !SatisfiesDense(*query);
     }
-    const std::string& name = arena.AttrName(attrs[i]);
-    for (const Partition& p : candidates) {
-      // Naming function: one fresh symbol per block.
-      std::unordered_map<std::string, uint32_t> naming;
-      for (uint32_t b = 0; b < p.num_blocks(); ++b) {
-        naming[name + "_" + std::to_string(b)] = b;
-      }
-      if (!interp.DefineAttribute(name, p, naming).ok()) continue;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      assign[attrs[i]] = &candidates[ci];
+      chosen[i] = ci;
       bool ok = true;
       for (const Pd* pd : check_at[i]) {
-        if (!*interp.Satisfies(arena, *pd)) {
+        if (!SatisfiesDense(*pd)) {
           ok = false;
           break;
         }
       }
       if (ok && Dfs(i + 1)) return true;
     }
-    // Backtrack: redefining on the next candidate overwrites, but on
-    // final failure the caller's earlier state is what matters; the
-    // interpretation keeps the last tried partition for attrs[i], which
-    // the parent will overwrite on its next candidate. Correctness relies
-    // on check_at only consulting attrs <= i.
+    // Backtrack. Correctness relies on check_at only consulting attrs <= i;
+    // the stale pointer left here is overwritten before it is read again.
     return false;
   }
 };
@@ -89,11 +98,30 @@ std::optional<CounterModel> SearchPopulations(const ExprArena& arena,
     };
     for (const Pd& pd : e) check_at[last_pos(pd)].push_back(&pd);
 
-    Search search{arena, e, query, attrs, full.elements,
-                  PartitionInterpretation{}, std::move(check_at)};
+    Search search{arena,
+                  query,
+                  attrs,
+                  full.dense_elements,
+                  std::vector<const DensePartition*>(arena.num_attrs(),
+                                                     nullptr),
+                  std::vector<std::size_t>(attrs.size(), 0),
+                  std::move(check_at),
+                  DenseOps{},
+                  DensePartition{}};
     if (search.Dfs(0)) {
+      // Materialize the witness as an interpretation: sparse candidate
+      // partitions with one fresh symbol per block (always a valid
+      // naming, so DefineAttribute cannot fail here).
       CounterModel model;
-      model.interpretation = std::move(search.interp);
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        const std::string& name = arena.AttrName(attrs[i]);
+        const Partition& p = full.elements[search.chosen[i]];
+        std::unordered_map<std::string, uint32_t> naming;
+        for (uint32_t b = 0; b < p.num_blocks(); ++b) {
+          naming[name + "_" + std::to_string(b)] = b;
+        }
+        (void)model.interpretation.DefineAttribute(name, p, naming);
+      }
       model.population_size = k;
       for (AttrId a : attrs) model.attributes.push_back(arena.AttrName(a));
       return model;

@@ -2,27 +2,13 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 #include <unordered_map>
 
 #include "partition/canonical.h"
+#include "partition/dense.h"
 #include "util/union_find.h"
 
 namespace psem {
-
-Partition ColumnPartition(const Relation& r, std::size_t column) {
-  std::vector<Elem> population(r.size());
-  std::vector<uint32_t> labels(r.size());
-  std::unordered_map<ValueId, uint32_t> value_label;
-  for (uint32_t i = 0; i < r.size(); ++i) {
-    population[i] = i;
-    auto [it, inserted] = value_label.emplace(
-        r.row(i)[column], static_cast<uint32_t>(value_label.size()));
-    (void)inserted;
-    labels[i] = it->second;
-  }
-  return Partition::FromLabels(population, labels);
-}
 
 namespace {
 
@@ -30,7 +16,31 @@ namespace {
 // levelwise bound keeps this tame).
 using ColMask = uint32_t;
 
+// Dense column PLIs: column[c] groups row indices by the value in c.
+std::vector<DensePartition> DenseColumns(const Relation& r, DenseOps* ops) {
+  std::vector<DensePartition> column(r.arity());
+  std::vector<uint32_t> values(r.size());
+  for (std::size_t c = 0; c < r.arity(); ++c) {
+    for (uint32_t i = 0; i < r.size(); ++i) values[i] = r.row(i)[c];
+    ops->GroupByValues(values, &column[c]);
+  }
+  return column;
+}
+
 }  // namespace
+
+Partition ColumnPartition(const Relation& r, std::size_t column) {
+  std::vector<Elem> population(r.size());
+  std::vector<uint32_t> values(r.size());
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    population[i] = i;
+    values[i] = r.row(i)[column];
+  }
+  DenseOps ops;
+  DensePartition grouped;
+  ops.GroupByValues(values, &grouped);
+  return Partition::FromLabels(std::move(population), grouped.labels);
+}
 
 Result<std::vector<Fd>> DiscoverFds(const Database& db, const Relation& r,
                                     const FdDiscoveryOptions& options) {
@@ -42,28 +52,33 @@ Result<std::vector<Fd>> DiscoverFds(const Database& db, const Relation& r,
     return Status::FailedPrecondition(
         "FD discovery over an empty relation is vacuous");
   }
-  std::vector<Partition> column(arity);
-  for (std::size_t c = 0; c < arity; ++c) column[c] = ColumnPartition(r, c);
+  DenseOps ops;
+  std::vector<DensePartition> column = DenseColumns(r, &ops);
 
-  // Partition of a column set, cached by mask.
-  std::unordered_map<ColMask, Partition> set_partition;
-  std::function<const Partition&(ColMask)> partition_of =
-      [&](ColMask mask) -> const Partition& {
-    auto it = set_partition.find(mask);
-    if (it != set_partition.end()) return it->second;
+  // Stripped PLI of a column set, cached by mask: singleton blocks never
+  // participate in a refinement violation, so each intersection touches
+  // only the surviving clustered rows (the TANE recipe).
+  std::unordered_map<ColMask, StrippedPartition> set_pli;
+  std::function<const StrippedPartition&(ColMask)> pli_of =
+      [&](ColMask mask) -> const StrippedPartition& {
+    auto it = set_pli.find(mask);
+    if (it != set_pli.end()) return it->second;
     // Split off the lowest column and recurse.
     int low = __builtin_ctz(mask);
     ColMask rest = mask & (mask - 1);
-    Partition p = rest == 0
-                      ? column[low]
-                      : Partition::Product(column[low], partition_of(rest));
-    return set_partition.emplace(mask, std::move(p)).first->second;
+    StrippedPartition sp;
+    if (rest == 0) {
+      ops.Strip(column[low], &sp);
+    } else {
+      ops.StrippedProduct(pli_of(rest), column[low], &sp);
+    }
+    return set_pli.emplace(mask, std::move(sp)).first->second;
   };
 
-  // r |= X -> A iff pi_X refines pi_A iff |pi_X| == |pi_X * pi_A|.
+  // r |= X -> A iff pi_X refines pi_A: every cluster of the X-PLI stays
+  // inside one block of pi_A.
   auto holds = [&](ColMask x, std::size_t a) {
-    const Partition& px = partition_of(x);
-    return Partition::Product(px, column[a]).num_blocks() == px.num_blocks();
+    return ops.StrippedRefines(pli_of(x), column[a]);
   };
 
   std::vector<Fd> out;
@@ -131,14 +146,15 @@ Result<std::vector<PdPattern>> DiscoverPdPatterns(const Database& db,
     return Status::FailedPrecondition(
         "PD discovery over an empty relation is vacuous");
   }
-  std::vector<Partition> column(arity);
-  for (std::size_t c = 0; c < arity; ++c) column[c] = ColumnPartition(r, c);
+  DenseOps ops;
+  std::vector<DensePartition> column = DenseColumns(r, &ops);
 
   std::vector<PdPattern> out;
+  DensePartition prod, sum;
   for (std::size_t a = 0; a < arity; ++a) {
     for (std::size_t b = a + 1; b < arity; ++b) {
-      Partition prod = Partition::Product(column[a], column[b]);
-      Partition sum = Partition::Sum(column[a], column[b]);
+      ops.Product(column[a], column[b], &prod);
+      ops.Sum(column[a], column[b], &sum);
       for (std::size_t c = 0; c < arity; ++c) {
         if (c == a || c == b) continue;
         RelAttrId ca = r.schema().attrs[a];
@@ -149,7 +165,7 @@ Result<std::vector<PdPattern>> DiscoverPdPatterns(const Database& db,
         }
         if (column[c] == sum) {
           out.push_back(PdPattern{PdPattern::Kind::kSum, cc, ca, cb});
-        } else if (column[c].RefinesSamePopulation(sum)) {
+        } else if (ops.Refines(column[c], sum)) {
           out.push_back(PdPattern{PdPattern::Kind::kSumUpper, cc, ca, cb});
         }
       }

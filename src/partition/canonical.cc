@@ -1,9 +1,9 @@
 #include "partition/canonical.h"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
 
+#include "partition/dense.h"
 #include "util/union_find.h"
 
 namespace psem {
@@ -17,28 +17,26 @@ Result<PartitionInterpretation> CanonicalInterpretation(const Database& db,
   PartitionInterpretation interp;
   std::vector<Elem> population(r.size());
   for (uint32_t i = 0; i < r.size(); ++i) population[i] = i;
+  DenseOps ops;
+  DensePartition grouped;
+  std::vector<uint32_t> column(r.size());
 
   for (std::size_t c = 0; c < r.arity(); ++c) {
     const std::string& attr = db.universe().NameOf(r.schema().attrs[c]);
-    // Group tuple indices by the symbol in this column.
-    std::map<ValueId, uint32_t> sym_label;
-    std::vector<uint32_t> labels(r.size());
-    for (uint32_t i = 0; i < r.size(); ++i) {
-      ValueId v = r.row(i)[c];
-      auto [it, inserted] =
-          sym_label.emplace(v, static_cast<uint32_t>(sym_label.size()));
-      (void)inserted;
-      labels[i] = it->second;
-    }
-    Partition atomic = Partition::FromLabels(population, labels);
-    // FromLabels renumbers canonically by first occurrence in element
-    // (= tuple index) order, which matches label assignment order here.
+    // Group tuple indices by the symbol in this column; the kernel's
+    // first-occurrence labels are already canonical for element (= tuple
+    // index) order.
+    for (uint32_t i = 0; i < r.size(); ++i) column[i] = r.row(i)[c];
+    ops.GroupByValues(column, &grouped);
     std::unordered_map<std::string, uint32_t> naming;
-    for (const auto& [v, label] : sym_label) {
-      naming[db.symbols().NameOf(v)] = label;
+    naming.reserve(grouped.num_blocks);
+    for (uint32_t i = 0; i < r.size(); ++i) {
+      uint32_t label = grouped.labels[i];
+      if (naming.size() == grouped.num_blocks) break;
+      naming.emplace(db.symbols().NameOf(column[i]), label);
     }
-    PSEM_RETURN_IF_ERROR(
-        interp.DefineAttribute(attr, std::move(atomic), naming));
+    PSEM_RETURN_IF_ERROR(interp.DefineAttribute(
+        attr, Partition::FromLabels(population, grouped.labels), naming));
   }
   return interp;
 }

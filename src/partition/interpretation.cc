@@ -2,7 +2,49 @@
 
 #include <algorithm>
 
+#include "partition/eval_context.h"
+
 namespace psem {
+
+PartitionInterpretation::PartitionInterpretation() = default;
+PartitionInterpretation::~PartitionInterpretation() = default;
+
+PartitionInterpretation::PartitionInterpretation(
+    const PartitionInterpretation& other)
+    : attrs_(other.attrs_),
+      attr_order_(other.attr_order_),
+      epoch_(other.epoch_) {}
+
+PartitionInterpretation& PartitionInterpretation::operator=(
+    const PartitionInterpretation& other) {
+  if (this == &other) return *this;
+  attrs_ = other.attrs_;
+  attr_order_ = other.attr_order_;
+  epoch_ = other.epoch_;
+  std::lock_guard<std::mutex> lock(eval_mu_);
+  eval_ctx_.reset();  // cold cache; EnsureBound would flush anyway
+  return *this;
+}
+
+PartitionInterpretation::PartitionInterpretation(
+    PartitionInterpretation&& other) noexcept
+    : attrs_(std::move(other.attrs_)),
+      attr_order_(std::move(other.attr_order_)),
+      epoch_(other.epoch_) {
+  // The context binds to the source's address; dropping it instead of
+  // moving keeps the binding invariant trivially true.
+}
+
+PartitionInterpretation& PartitionInterpretation::operator=(
+    PartitionInterpretation&& other) noexcept {
+  if (this == &other) return *this;
+  attrs_ = std::move(other.attrs_);
+  attr_order_ = std::move(other.attr_order_);
+  epoch_ = other.epoch_;
+  std::lock_guard<std::mutex> lock(eval_mu_);
+  eval_ctx_.reset();
+  return *this;
+}
 
 Status PartitionInterpretation::DefineAttribute(
     const std::string& name, Partition atomic,
@@ -35,6 +77,7 @@ Status PartitionInterpretation::DefineAttribute(
   }
   if (!attrs_.count(name)) attr_order_.push_back(name);
   attrs_[name] = AttrInterp{std::move(atomic), naming, std::move(block_symbol)};
+  ++epoch_;  // invalidates every memoized evaluation of this interpretation
   return Status::OK();
 }
 
@@ -72,8 +115,8 @@ Result<std::string> PartitionInterpretation::SymbolOfBlock(
   return a->block_symbol[label];
 }
 
-Result<Partition> PartitionInterpretation::Eval(const ExprArena& arena,
-                                                ExprId e) const {
+Result<Partition> PartitionInterpretation::EvalSparse(const ExprArena& arena,
+                                                      ExprId e) const {
   switch (arena.KindOf(e)) {
     case ExprKind::kAttr: {
       const std::string& name = arena.AttrName(arena.AttrOf(e));
@@ -84,25 +127,31 @@ Result<Partition> PartitionInterpretation::Eval(const ExprArena& arena,
       return a->atomic;
     }
     case ExprKind::kProduct: {
-      PSEM_ASSIGN_OR_RETURN(Partition l, Eval(arena, arena.LhsOf(e)));
-      PSEM_ASSIGN_OR_RETURN(Partition r, Eval(arena, arena.RhsOf(e)));
+      PSEM_ASSIGN_OR_RETURN(Partition l, EvalSparse(arena, arena.LhsOf(e)));
+      PSEM_ASSIGN_OR_RETURN(Partition r, EvalSparse(arena, arena.RhsOf(e)));
       return Partition::Product(l, r);
     }
     case ExprKind::kSum: {
-      PSEM_ASSIGN_OR_RETURN(Partition l, Eval(arena, arena.LhsOf(e)));
-      PSEM_ASSIGN_OR_RETURN(Partition r, Eval(arena, arena.RhsOf(e)));
+      PSEM_ASSIGN_OR_RETURN(Partition l, EvalSparse(arena, arena.LhsOf(e)));
+      PSEM_ASSIGN_OR_RETURN(Partition r, EvalSparse(arena, arena.RhsOf(e)));
       return Partition::Sum(l, r);
     }
   }
   return Status::Internal("bad expression kind");
 }
 
+Result<Partition> PartitionInterpretation::Eval(const ExprArena& arena,
+                                                ExprId e) const {
+  std::lock_guard<std::mutex> lock(eval_mu_);
+  if (!eval_ctx_) eval_ctx_ = std::make_unique<EvalContext>();
+  return eval_ctx_->Eval(arena, *this, e);
+}
+
 Result<bool> PartitionInterpretation::Satisfies(const ExprArena& arena,
                                                 const Pd& pd) const {
-  PSEM_ASSIGN_OR_RETURN(Partition l, Eval(arena, pd.lhs));
-  PSEM_ASSIGN_OR_RETURN(Partition r, Eval(arena, pd.rhs));
-  if (pd.is_equation) return l == r;
-  return l == Partition::Product(l, r);
+  std::lock_guard<std::mutex> lock(eval_mu_);
+  if (!eval_ctx_) eval_ctx_ = std::make_unique<EvalContext>();
+  return eval_ctx_->Satisfies(arena, *this, pd);
 }
 
 Result<std::vector<Elem>> PartitionInterpretation::TupleMeaning(

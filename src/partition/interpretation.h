@@ -12,6 +12,9 @@
 #ifndef PSEM_PARTITION_INTERPRETATION_H_
 #define PSEM_PARTITION_INTERPRETATION_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,11 +28,28 @@
 
 namespace psem {
 
+class EvalContext;
+
 /// A partition interpretation over (a subset of) a Universe's attributes.
 /// Attributes are addressed by name so that expressions from any ExprArena
 /// can be evaluated against it.
+///
+/// Evaluation (Eval/Satisfies) runs on the dense kernel layer through a
+/// private, lazily-created EvalContext (partition/eval_context.h): shared
+/// subexpressions are memoized per (ExprId, epoch), and the epoch — bumped
+/// by every DefineAttribute — guarantees no stale partition is ever served
+/// after a mutation. EvalSparse is the paper-literal reference path the
+/// differential tests pit the kernels against. Const access (including
+/// Eval/Satisfies, which lock the embedded context) is thread-safe.
 class PartitionInterpretation {
  public:
+  PartitionInterpretation();
+  ~PartitionInterpretation();
+  PartitionInterpretation(const PartitionInterpretation& other);
+  PartitionInterpretation& operator=(const PartitionInterpretation& other);
+  PartitionInterpretation(PartitionInterpretation&& other) noexcept;
+  PartitionInterpretation& operator=(PartitionInterpretation&& other) noexcept;
+
   /// Defines attribute `name`: its atomic partition and naming function.
   /// `naming` maps symbol names to block labels of `atomic`; it must be a
   /// bijection onto the blocks (Definition 1 condition 3). Symbols absent
@@ -55,12 +75,30 @@ class PartitionInterpretation {
 
   /// Meaning of a partition expression (structural induction of Section
   /// 3.1): attributes evaluate to their atomic partitions; * and + to
-  /// partition product and sum.
+  /// partition product and sum. Memoized on the dense kernel layer;
+  /// bit-identical to EvalSparse.
   Result<Partition> Eval(const ExprArena& arena, ExprId e) const;
 
+  /// The paper-literal recursive evaluation over the sparse Partition
+  /// API — the reference implementation for differential testing. No
+  /// memoization, no sharing.
+  Result<Partition> EvalSparse(const ExprArena& arena, ExprId e) const;
+
   /// I |= e = e' (Definition 3): equal partitions over equal populations.
-  /// For the <= form: lhs == lhs * rhs.
+  /// For the <= form: lhs == lhs * rhs. Memoized like Eval.
   Result<bool> Satisfies(const ExprArena& arena, const Pd& pd) const;
+
+  /// Mutation counter: bumped by every DefineAttribute. The memoized
+  /// evaluation path keys its cache on this, so observing an unchanged
+  /// epoch guarantees cached partitions are current.
+  uint64_t epoch() const { return epoch_; }
+
+  /// The atomic partition of `name` without copying, or nullptr when the
+  /// attribute is not interpreted.
+  const Partition* FindAtomic(const std::string& name) const {
+    const AttrInterp* a = FindAttr(name);
+    return a == nullptr ? nullptr : &a->atomic;
+  }
 
   /// I |= d (Definition 2): the meaning of every tuple of every relation
   /// is a nonempty set.
@@ -103,6 +141,13 @@ class PartitionInterpretation {
 
   std::unordered_map<std::string, AttrInterp> attrs_;
   std::vector<std::string> attr_order_;
+  uint64_t epoch_ = 0;
+
+  // Lazily-created memoized evaluator behind Eval/Satisfies. Guarded by
+  // eval_mu_ so const evaluation stays safe to call concurrently; never
+  // copied (a copy starts with a cold cache).
+  mutable std::mutex eval_mu_;
+  mutable std::unique_ptr<EvalContext> eval_ctx_;
 };
 
 }  // namespace psem

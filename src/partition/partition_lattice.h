@@ -16,6 +16,7 @@
 
 #include "lattice/expr.h"
 #include "lattice/finite_lattice.h"
+#include "partition/dense.h"
 #include "partition/interpretation.h"
 #include "partition/partition.h"
 #include "util/status.h"
@@ -52,6 +53,9 @@ Result<PartitionClosure> InterpretationLattice(
 struct FullPartitionLatticeResult {
   FiniteLattice lattice;
   std::vector<Partition> elements;
+  /// The same elements over the identity universe {0..k-1} — the
+  /// candidate set the model_finder search consumes without converting.
+  std::vector<DensePartition> dense_elements;
 };
 FullPartitionLatticeResult FullPartitionLattice(std::size_t k);
 
