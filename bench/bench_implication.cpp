@@ -69,6 +69,71 @@ void BM_AlgEngineChain(benchmark::State& state) {
 BENCHMARK(BM_AlgEngineChain)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
     ->Complexity();
 
+// --- closure-scaling workloads (delta-closure trajectory) -------------------
+//
+// Two families that bracket the semi-naive engine's operating envelope,
+// closure time only (engine construction + Prepare, no query answering):
+//
+//  * sparse chain theories — the FPD chain A0 <= A1 <= ... <= A(n-1).
+//    Per-pass arc deltas are tiny relative to the matrix, which is
+//    exactly the shape where the worklist/delta discipline should win
+//    (the old sweeps rescanned all n rows and re-counted/re-transposed
+//    the whole matrix every pass).
+//
+//  * dense random theories — equation-heavy random PDs over few
+//    attributes; the closure saturates and the engine's blocked-dense
+//    endgame carries most passes. The target here is "no regression",
+//    not speedup.
+//
+// Committed numbers live in BENCH_implication.json; the delta-closure
+// before/after comparison is recorded in docs/performance.md.
+
+void BM_ClosureSparseChain(benchmark::State& state) {
+  ExprArena arena;
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Pd> pds = ChainTheory(&arena, n);
+  std::size_t arcs = 0, passes = 0;
+  for (auto _ : state) {
+    PdImplicationEngine engine(&arena, pds);
+    engine.Prepare({});
+    benchmark::DoNotOptimize(engine.stats().num_arcs);
+    arcs = engine.stats().num_arcs;
+    passes = engine.stats().passes;
+  }
+  state.counters["V"] = static_cast<double>(n);
+  state.counters["arcs"] = static_cast<double>(arcs);
+  state.counters["passes"] = static_cast<double>(passes);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ClosureSparseChain)
+    ->Arg(512)->Arg(2048)->Arg(4096)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosureDenseRandom(benchmark::State& state) {
+  ExprArena arena;
+  Rng rng = MakeBenchRng(7777);
+  const int target = static_cast<int>(state.range(0));
+  // Equation-heavy random theory over few attributes: |V| tracks the
+  // range arg (reported as the V counter) and the closure saturates.
+  std::vector<Pd> pds =
+      RandomTheory(&arena, &rng, /*num_attrs=*/6, /*num_pds=*/target / 8,
+                   /*max_ops=*/8);
+  std::size_t vertices = 0, arcs = 0;
+  for (auto _ : state) {
+    PdImplicationEngine engine(&arena, pds);
+    engine.Prepare({});
+    benchmark::DoNotOptimize(engine.stats().num_arcs);
+    vertices = engine.stats().num_vertices;
+    arcs = engine.stats().num_arcs;
+  }
+  state.counters["V"] = static_cast<double>(vertices);
+  state.counters["arcs"] = static_cast<double>(arcs);
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_ClosureDenseRandom)
+    ->Arg(512)->Arg(2048)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 // Repeated queries against one prepared engine (the amortized mode).
 void BM_AlgEnginePreparedQueries(benchmark::State& state) {
   ExprArena arena;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run a benchmark binary and record a provenance-corrected JSON artifact.
+"""Run benchmark binaries and record a provenance-corrected JSON artifact.
 
 google-benchmark's JSON context reports `library_build_type` for the
 *benchmark library* itself, not for the code under test — on distros that
@@ -8,14 +8,21 @@ library under test was compiled -O3 (the committed BENCH_implication.json
 was bitten by exactly this). The bench binaries therefore embed their own
 build type as `psem_build_type` (see bench/bench_main.cc); this script
 
-  1. runs the binary with JSON output,
+  1. runs each binary with JSON output,
   2. refuses to record unless psem_build_type is a Release flavor
      (override with --allow-debug for harness debugging only),
   3. rewrites `library_build_type` from psem_build_type, preserving the
-     original value as `benchmark_library_build_type`.
+     original value as `benchmark_library_build_type`,
+  4. with several binaries, merges their benchmark lists into one
+     artifact (context from the first run, `executables` listing all of
+     them) — duplicate benchmark names across binaries are an error,
+     since compare_bench.py matches by name.
 
 Usage:
-  record_bench.py BINARY -o OUT.json [--allow-debug] [-- BENCH_ARGS...]
+  record_bench.py BINARY [BINARY...] -o OUT.json [--allow-debug]
+                  [-- BENCH_ARGS...]
+
+BENCH_ARGS after `--` are passed to every binary.
 
 Note: the packaged google-benchmark predates the `Ns`-suffixed form of
 --benchmark_min_time; pass plain doubles (e.g. --benchmark_min_time=0.1).
@@ -23,16 +30,54 @@ Note: the packaged google-benchmark predates the `Ns`-suffixed form of
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
+
+
+def run_one(binary: str, bench_args: list, allow_debug: bool) -> dict:
+    """Runs one binary, returns its provenance-corrected JSON doc."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    cmd = [
+        binary,
+        f"--benchmark_out={raw_path}",
+        "--benchmark_out_format=json",
+    ] + bench_args
+    env_note = {"PSEM_BENCH_ALLOW_DEBUG": "1"} if allow_debug else {}
+    env = dict(os.environ, **env_note)
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(f"{' '.join(cmd)} exited {proc.returncode}")
+
+    with open(raw_path) as f:
+        doc = json.load(f)
+    context = doc.get("context", {})
+    psem_build = context.get("psem_build_type", "unknown")
+    if not psem_build.startswith("Rel") and not allow_debug:
+        raise RuntimeError(
+            f"refusing to record psem_build_type={psem_build!r} from "
+            f"{binary}; rebuild with -DCMAKE_BUILD_TYPE=Release or pass "
+            "--allow-debug"
+        )
+
+    # The provenance fix: library_build_type describes the code under
+    # test; the benchmark library's own build flavor moves aside.
+    if "library_build_type" in context:
+        context["benchmark_library_build_type"] = context["library_build_type"]
+    context["library_build_type"] = (
+        "release" if psem_build.startswith("Rel") else psem_build.lower()
+    )
+    doc["context"] = context
+    return doc
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    parser.add_argument("binary", help="benchmark binary to run")
+    parser.add_argument("binaries", nargs="+", help="benchmark binaries to run")
     parser.add_argument("-o", "--output", required=True, help="output JSON path")
     parser.add_argument(
         "--allow-debug",
@@ -45,49 +90,38 @@ def main() -> int:
         split = argv.index("--")
         argv, bench_args = argv[:split], argv[split + 1 :]
     args = parser.parse_args(argv)
-    args.bench_args = bench_args
 
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-        raw_path = tmp.name
-    cmd = [
-        args.binary,
-        f"--benchmark_out={raw_path}",
-        "--benchmark_out_format=json",
-    ] + args.bench_args
-    env_note = {"PSEM_BENCH_ALLOW_DEBUG": "1"} if args.allow_debug else {}
-    import os
+    docs = []
+    for binary in args.binaries:
+        try:
+            docs.append(run_one(binary, bench_args, args.allow_debug))
+        except RuntimeError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
 
-    env = dict(os.environ, **env_note)
-    proc = subprocess.run(cmd, env=env)
-    if proc.returncode != 0:
-        print(f"error: {' '.join(cmd)} exited {proc.returncode}", file=sys.stderr)
-        return proc.returncode
-
-    with open(raw_path) as f:
-        doc = json.load(f)
-    context = doc.get("context", {})
-    psem_build = context.get("psem_build_type", "unknown")
-    if not psem_build.startswith("Rel") and not args.allow_debug:
-        print(
-            f"error: refusing to record psem_build_type={psem_build!r}; "
-            "rebuild with -DCMAKE_BUILD_TYPE=Release or pass --allow-debug",
-            file=sys.stderr,
-        )
-        return 1
-
-    # The provenance fix: library_build_type describes the code under
-    # test; the benchmark library's own build flavor moves aside.
-    if "library_build_type" in context:
-        context["benchmark_library_build_type"] = context["library_build_type"]
-    context["library_build_type"] = (
-        "release" if psem_build.startswith("Rel") else psem_build.lower()
-    )
-    doc["context"] = context
+    merged = docs[0]
+    merged["context"]["executables"] = args.binaries
+    seen = {b["name"] for b in merged.get("benchmarks", [])}
+    for doc in docs[1:]:
+        for bench in doc.get("benchmarks", []):
+            if bench["name"] in seen:
+                print(
+                    f"error: duplicate benchmark name {bench['name']!r} "
+                    "across binaries — compare_bench.py matches by name",
+                    file=sys.stderr,
+                )
+                return 1
+            seen.add(bench["name"])
+            merged.setdefault("benchmarks", []).append(bench)
 
     with open(args.output, "w") as f:
-        json.dump(doc, f, indent=1)
+        json.dump(merged, f, indent=1)
         f.write("\n")
-    print(f"recorded {len(doc.get('benchmarks', []))} benchmarks -> {args.output}")
+    print(
+        f"recorded {len(merged.get('benchmarks', []))} benchmarks from "
+        f"{len(args.binaries)} binar{'y' if len(args.binaries) == 1 else 'ies'}"
+        f" -> {args.output}"
+    )
     return 0
 
 

@@ -1,5 +1,6 @@
 #include "core/implication.h"
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -23,7 +24,8 @@ uint64_t PairKey(ExprId e1, ExprId e2) {
 }
 
 // How often the governed sweeps poll the deadline/cancel state: every
-// (kCheckStride) rows. Budget comparisons are per-pass and cost nothing.
+// (kCheckStride) rows or delta consumptions. Budget comparisons against
+// the running arc counter ride along with the same stride.
 constexpr std::size_t kCheckStride = 256;
 
 }  // namespace
@@ -74,20 +76,29 @@ void PdImplicationEngine::AddVertex(ExprId e) {
   vertices_.push_back(e);
   vertex_of_.emplace(e, idx);
   kind_.push_back(arena_->KindOf(e));
+  parents_.emplace_back();
   if (arena_->IsAttr(e)) {
     lhs_.push_back(kNoVertex);
     rhs_.push_back(kNoVertex);
   } else {
-    lhs_.push_back(vertex_of_.at(arena_->LhsOf(e)));
-    rhs_.push_back(vertex_of_.at(arena_->RhsOf(e)));
+    uint32_t l = vertex_of_.at(arena_->LhsOf(e));
+    uint32_t r = vertex_of_.at(arena_->RhsOf(e));
+    lhs_.push_back(l);
+    rhs_.push_back(r);
+    // Children are already interned (smaller indices), so the parent
+    // index is complete before any closure ever runs.
+    parents_[l].emplace_back(idx, r);
+    if (r != l) parents_[r].emplace_back(idx, l);
   }
   closure_valid_ = false;
 }
 
-std::size_t PdImplicationEngine::CountArcs() const {
-  std::size_t arcs = 0;
-  for (const DynamicBitset& row : up_) arcs += row.Count();
-  return arcs;
+void PdImplicationEngine::TrySetArc(uint32_t i, uint32_t m) {
+  if (up_[i].Test(m)) return;
+  up_[i].Set(m);
+  delta_up_[i].Set(m);
+  dirty_rows_.Set(i);
+  ++arc_count_;
 }
 
 Status PdImplicationEngine::ComputeClosure(const ExecContext& ctx) {
@@ -107,175 +118,539 @@ Status PdImplicationEngine::ComputeClosure(const ExecContext& ctx) {
     }
   }
 
-  // Seed phase. Cold: reflexive arcs everywhere plus the constraint arcs.
-  // (Rule 1 seeds (A, A) for attributes only and derives reflexivity of
-  // composites via rules 3/4, resp. 5/2; seeding all vertices is sound
-  // and saves passes.) Incremental: the previous closure is itself a set
-  // of sound consequences of E (Lemma 9.2), so it is a valid warm start —
-  // old rows are widened in place and only the new vertices get fresh
-  // reflexive rows. Arcs between old vertices are already final and the
-  // fixpoint below only propagates the dirty frontier around the new
-  // vertices.
-  if (closed_vertices_ == 0) {
-    up_.assign(n, DynamicBitset(n));
-    for (std::size_t i = 0; i < n; ++i) up_[i].Set(i);
-    // Rule 6: each constraint contributes its arc(s).
-    for (const Pd& pd : constraints_) {
-      uint32_t l = vertex_of_.at(pd.lhs);
-      uint32_t r = vertex_of_.at(pd.rhs);
-      up_[l].Set(r);
-      if (pd.is_equation) up_[r].Set(l);
-    }
-    ++stats_.cold_closures;
-  } else {
-    for (std::size_t i = 0; i < closed_vertices_; ++i) {
+  // Seed phase. Every seed arc is planted through the delta state: set in
+  // up_, flagged unconsumed in delta_up_, row marked dirty — the fixpoint
+  // below then treats seed arcs and derived arcs uniformly (each is
+  // consumed exactly once). Cold: reflexive arcs everywhere plus the
+  // constraint arcs. (Rule 1 seeds (A, A) for attributes only and derives
+  // reflexivity of composites via rules 3/4, resp. 5/2; seeding all
+  // vertices is sound and saves rounds.) Incremental: the previous
+  // closure is itself a set of sound consequences of E (Lemma 9.2), so it
+  // is a valid warm start — old rows are widened in place, only the new
+  // vertices get fresh reflexive rows, and new composites over
+  // already-consumed children get a one-time catch-up union of their
+  // children's rows/columns. The worklist ends up holding exactly the
+  // dirty frontier. A resumed closure (seeded_vertices_ == n after an
+  // abort) skips seeding entirely: the unconsumed deltas and dirty rows
+  // persisted across the abort.
+  const std::size_t old_n = seeded_vertices_;
+  if (old_n < n) {
+    for (std::size_t i = 0; i < old_n; ++i) {
       up_[i].Resize(n);
-      down_[i].Resize(n);
+      delta_up_[i].Resize(n);
+      if (!pool_) down_[i].Resize(n);
     }
     up_.resize(n);
-    down_.resize(n);
-    for (std::size_t i = closed_vertices_; i < n; ++i) {
+    delta_up_.resize(n);
+    if (!pool_) down_.resize(n);
+    dirty_rows_.Resize(n);
+    for (std::size_t i = old_n; i < n; ++i) {
       up_[i] = DynamicBitset(n);
-      up_[i].Set(i);
-      down_[i] = DynamicBitset(n);
-      down_[i].Set(i);
+      delta_up_[i] = DynamicBitset(n);
+      if (!pool_) down_[i] = DynamicBitset(n);
+      TrySetArc(static_cast<uint32_t>(i), static_cast<uint32_t>(i));
     }
+    if (old_n == 0) {
+      // Rule 6: each constraint contributes its arc(s).
+      for (const Pd& pd : constraints_) {
+        uint32_t l = vertex_of_.at(pd.lhs);
+        uint32_t r = vertex_of_.at(pd.rhs);
+        TrySetArc(l, r);
+        if (pd.is_equation) TrySetArc(r, l);
+      }
+      ++stats_.cold_closures;
+    } else {
+      // Composite catch-up: a new composite over old children missed the
+      // children's already-consumed deltas, so it takes their current
+      // rows (rules 3/2) and columns (rules 5/4) once, full width; any
+      // later child growth reaches it through the parents_ index. New
+      // children need no catch-up (their arcs are all still unconsumed)
+      // but including them is sound and idempotent.
+      for (std::size_t m = old_n; m < n; ++m) {
+        if (lhs_[m] == kNoVertex) continue;
+        const uint32_t l = lhs_[m], r = rhs_[m];
+        const uint32_t mi = static_cast<uint32_t>(m);
+        std::size_t added =
+            kind_[m] == ExprKind::kProduct
+                ? up_[m].OrInPlaceCountNew(up_[l], &delta_up_[m]) +
+                      up_[m].OrInPlaceCountNew(up_[r], &delta_up_[m])
+                : up_[m].OrAndInPlaceCountNew(up_[l], up_[r], &delta_up_[m]);
+        if (added) {
+          arc_count_ += added;
+          dirty_rows_.Set(mi);
+        }
+        if (!pool_) {
+          // Column side via the incrementally maintained predecessor
+          // index: every consumed arc into a child lifts to the parent.
+          if (kind_[m] == ExprKind::kSum) {
+            down_[l].ForEach([&](std::size_t s) {
+              TrySetArc(static_cast<uint32_t>(s), mi);
+            });
+            down_[r].ForEach([&](std::size_t s) {
+              TrySetArc(static_cast<uint32_t>(s), mi);
+            });
+          } else {
+            down_[l].ForEach([&](std::size_t s) {
+              if (up_[s].Test(r)) TrySetArc(static_cast<uint32_t>(s), mi);
+            });
+          }
+        } else {
+          // The parallel engine keeps no down_; scan the rows instead.
+          for (std::size_t s = 0; s < n; ++s) {
+            bool lifts = kind_[m] == ExprKind::kSum
+                             ? (up_[s].Test(l) || up_[s].Test(r))
+                             : (up_[s].Test(l) && up_[s].Test(r));
+            if (lifts) TrySetArc(static_cast<uint32_t>(s), mi);
+          }
+        }
+      }
+      ++stats_.incremental_closures;
+    }
+    seeded_vertices_ = n;
+  } else {
+    // Abort resume over an unchanged V: a pure warm start.
     ++stats_.incremental_closures;
   }
   stats_.seed_seconds += SecondsSince(closure_start);
 
   stats_.pass_arc_delta.clear();
-  Status st;
-  if (pool_) {
-    // The banded sweep is full-width; a warm start still converges in
-    // fewer passes than a cold one.
-    st = ParallelFixpoint(ctx);
-  } else if (closed_vertices_ > 0) {
-    st = IncrementalFixpoint(closed_vertices_, ctx);
-  } else {
-    st = SerialFixpoint(ctx);
+  stats_.passes = 0;
+  stats_.sparse_rounds = 0;
+  stats_.dense_rounds = 0;
+  Status st = pool_ ? DeltaFixpointParallel(ctx) : DeltaFixpointSerial(ctx);
+  if (st.ok() && stats_.passes == 0) {
+    // Nothing was dirty (e.g. an already-quiescent warm start): record
+    // the trivial confirming round so trajectory stats stay populated.
+    stats_.passes = 1;
+    stats_.pass_arc_delta.push_back(0);
   }
 
   // Partial stats are filled in even when the fixpoint stopped early —
-  // the partial-stats-on-timeout contract (docs/robustness.md).
+  // the partial-stats-on-timeout contract (docs/robustness.md). num_arcs
+  // comes straight from the running counter; it is exact even mid-abort.
   stats_.num_vertices = n;
-  stats_.num_arcs = CountArcs();
+  stats_.num_arcs = arc_count_;
   stats_.num_threads = pool_ ? pool_->num_threads() : 1;
   stats_.closure_seconds += SecondsSince(closure_start);
 
   if (!st.ok()) {
-    // closure_valid_ stays false and closed_vertices_ keeps its previous
-    // value: the partially propagated matrix is a sound warm start for
-    // the next attempt (arcs are only ever added and every written arc
-    // is justified), so the engine remains fully usable.
+    // closure_valid_ stays false while the partially propagated matrix,
+    // the unconsumed deltas, and the dirty worklist all persist: the next
+    // attempt resumes exactly where this one stopped (re-consuming a
+    // half-processed frontier is idempotent), so the engine remains fully
+    // usable and converges to the same least fixpoint a cold engine does.
     ++stats_.aborted_closures;
     return st;
   }
-  closed_vertices_ = n;
+#ifndef NDEBUG
+  // Audit the incremental counter against a one-off recount (debug
+  // builds only — never a per-pass scan).
+  std::size_t audit = 0;
+  for (const DynamicBitset& row : up_) audit += row.Count();
+  assert(audit == arc_count_);
+#endif
   closure_valid_ = true;
   return Status::OK();
 }
 
-// Fixpoint over rules 2-5 and 7, alternating row-space (up) and
-// column-space (down) formulations; in-place Gauss-Seidel propagation.
-Status PdImplicationEngine::SerialFixpoint(const ExecContext& ctx) {
+// Serial semi-naive driver. Loop invariant, held at every round boundary
+// and across aborts:
+//   (a) delta_up_[i] ⊆ up_[i] and holds exactly row i's unconsumed arcs;
+//   (b) dirty_rows_.Test(i) whenever delta_up_[i] is nonempty;
+//   (c) down_[j] ∋ i exactly for the *consumed* arcs (i, j);
+//   (d) arc_count_ == |up_| (each up_ bit transition bumped it once).
+// Every consequence of a consumed arc is either derived at consumption
+// time (forward transitivity, per-arc column rules) or guaranteed to be
+// derived when a future delta is consumed (backward transitivity through
+// down_, parent pulls through parents_) — so when every frontier is
+// empty, no rule instance is left unapplied and up_ is the least
+// fixpoint of Lemma 9.2.
+Status PdImplicationEngine::DeltaFixpointSerial(const ExecContext& ctx) {
   const std::size_t n = vertices_.size();
   const bool governed = !ctx.unbounded();
-  down_.assign(n, DynamicBitset(n));
-  std::size_t passes = 0;
-  std::size_t arcs_before = CountArcs();
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    stats_.passes = ++passes;
+  std::vector<uint32_t> worklist;
+  std::size_t consumed_strider = 0;
+  while (dirty_rows_.Any()) {
+    ++stats_.passes;
     if (PSEM_FAILPOINT(failpoints::kAlgSweep)) {
       return Status::Internal("injected closure-sweep fault (psem.alg.sweep)");
     }
-    if (governed) PSEM_RETURN_IF_ERROR(ctx.Check());
-    auto rules_start = SteadyClock::now();
-    // Rule 7 (transitivity), one sweep: up[i] |= up[j] for j in up[i].
-    for (std::size_t i = 0; i < n; ++i) {
-      if (governed && (i % kCheckStride) == 0) {
-        PSEM_RETURN_IF_ERROR(ctx.Check());
-      }
-      for (std::size_t j = up_[i].NextSetBit(0); j < n;
-           j = up_[i].NextSetBit(j + 1)) {
-        if (j != i) changed |= up_[i].UnionWith(up_[j]);
+    if (governed) {
+      PSEM_RETURN_IF_ERROR(ctx.Check());
+      PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arc_count_));
+    }
+    const std::size_t round_start_arcs = arc_count_;
+    worklist.clear();
+    dirty_rows_.ForEach(
+        [&](std::size_t i) { worklist.push_back(static_cast<uint32_t>(i)); });
+
+    // Mode switch on measured frontier density, with an early exit once
+    // the pending mass crosses the dense threshold.
+    bool dense = false;
+    if (worklist.size() >= options_.dense_min_rows) {
+      const std::size_t threshold =
+          worklist.size() * (n / std::max<std::size_t>(1, options_.dense_inv_density) + 1);
+      std::size_t pending = 0;
+      for (uint32_t i : worklist) {
+        pending += delta_up_[i].Count();
+        if (pending >= threshold) {
+          dense = true;
+          break;
+        }
       }
     }
-    // Rule 3: (p, s) or (q, s) => (p*q, s).
-    // Rule 2: (p, s) and (q, s) => (p+q, s).
-    for (std::size_t m = 0; m < n; ++m) {
-      if (kind_[m] == ExprKind::kProduct) {
-        changed |= up_[m].UnionWith(up_[lhs_[m]]);
-        changed |= up_[m].UnionWith(up_[rhs_[m]]);
-      } else if (kind_[m] == ExprKind::kSum) {
-        changed |= up_[m].UnionWithAnd(up_[lhs_[m]], up_[rhs_[m]]);
-      }
+    Status st = dense ? DenseRound(worklist, ctx)
+                      : SparseRound(worklist, ctx, &consumed_strider);
+    if (dense) {
+      ++stats_.dense_rounds;
+    } else {
+      ++stats_.sparse_rounds;
     }
-    stats_.rules_seconds += SecondsSince(rules_start);
-    // Transpose into down.
-    auto transpose_start = SteadyClock::now();
-    for (std::size_t i = 0; i < n; ++i) down_[i].Clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = up_[i].NextSetBit(0); j < n;
-           j = up_[i].NextSetBit(j + 1)) {
-        down_[j].Set(i);
-      }
-    }
-    stats_.transpose_seconds += SecondsSince(transpose_start);
-    // Rule 5: (s, p) or (s, q) => (s, p+q).
-    // Rule 4: (s, p) and (s, q) => (s, p*q).
-    rules_start = SteadyClock::now();
-    for (std::size_t m = 0; m < n; ++m) {
-      if (kind_[m] == ExprKind::kSum) {
-        changed |= down_[m].UnionWith(down_[lhs_[m]]);
-        changed |= down_[m].UnionWith(down_[rhs_[m]]);
-      } else if (kind_[m] == ExprKind::kProduct) {
-        changed |= down_[m].UnionWithAnd(down_[lhs_[m]], down_[rhs_[m]]);
-      }
-    }
-    stats_.rules_seconds += SecondsSince(rules_start);
-    // Transpose back into up.
-    transpose_start = SteadyClock::now();
-    for (std::size_t i = 0; i < n; ++i) up_[i].Clear();
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t i = down_[j].NextSetBit(0); i < n;
-           i = down_[j].NextSetBit(i + 1)) {
-        up_[i].Set(j);
-      }
-    }
-    stats_.transpose_seconds += SecondsSince(transpose_start);
-    std::size_t arcs_now = CountArcs();
-    stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
-    arcs_before = arcs_now;
-    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arcs_now));
+    if (!st.ok()) return st;  // the round restored the unconsumed frontier
+    stats_.pass_arc_delta.push_back(arc_count_ - round_start_arcs);
   }
   return Status::OK();
 }
 
-// Banded Jacobi fixpoint: each phase partitions the rows (or columns)
-// into contiguous bands, one worker per band; workers read only a frozen
-// snapshot (`prev`) of the matrix from before the phase and write only
-// rows they own, and the ParallelFor join is the barrier between phases.
-// Snapshot reads mean a sweep may propagate one step "behind" the serial
-// Gauss-Seidel sweep, but every written arc is justified by snapshot
-// arcs, the rules are monotone, and the loop runs until no sweep adds an
-// arc — so it converges to the same least fixpoint (the argument is
-// spelled out in docs/architecture.md).
-Status PdImplicationEngine::ParallelFixpoint(const ExecContext& ctx) {
+// One sparse round: Gauss-Seidel over the worklist rows, draining each
+// row's frontier in place (bits derived mid-row are consumed in the same
+// visit). Per consumed arc (i, j):
+//   scatter     — down_[j] gains i (incremental transpose maintenance);
+//   rule 7 fwd  — up_[i] |= up_[j], the new-arc side of the semi-naive
+//                 join (word-parallel, skips j's empty words);
+//   rules 5/4   — parents of j probe the single bit (i, parent).
+// After the row drains, with S = everything consumed from it this visit:
+//   rule 7 bwd  — every predecessor p ∈ down_[i] takes S (delta-width);
+//   rules 3/2   — every parent of i takes S (product) or S ∩ sibling row
+//                 (sum), word-parallel.
+Status PdImplicationEngine::SparseRound(const std::vector<uint32_t>& worklist,
+                                        const ExecContext& ctx,
+                                        std::size_t* consumed_strider) {
   const std::size_t n = vertices_.size();
   const bool governed = !ctx.unbounded();
-  std::vector<DynamicBitset> prev(n, DynamicBitset(n));
-  down_.assign(n, DynamicBitset(n));
-  std::size_t passes = 0;
-  std::size_t arcs_before = CountArcs();
-  std::atomic<bool> changed{true};
+  const auto rules_start = SteadyClock::now();
+  DynamicBitset scratch(n);
+  DynamicBitset gained(n);
+  // Descending index order: AddVertex interns children before parents and
+  // theories tend to be written low-to-high, so high rows settle first
+  // and most consumptions below hit the settled-source fast path.
+  for (std::size_t w = worklist.size(); w-- > 0;) {
+    const uint32_t i = worklist[w];
+    if (delta_up_[i].None()) {  // drained by an earlier visit this round
+      dirty_rows_.Reset(i);
+      continue;
+    }
+    scratch.Clear();
+    std::size_t j;
+    while ((j = delta_up_[i].NextSetBit(0)) < n) {
+      delta_up_[i].Reset(j);
+      scratch.Set(j);
+      down_[j].Set(i);
+      if (j != i) {
+        if (!dirty_rows_.Test(j)) {
+          // Settled source: every arc of row j has been consumed, so
+          // up_[j] is transitively absorbed — one OR brings in all of it,
+          // and the gained bits can be marked consumed on the spot
+          // (scatter + per-arc column rules) without their own forward
+          // joins: anything row g learns later reaches row i through the
+          // down_[g] backward join we are registering here.
+          gained.Clear();
+          std::size_t added = up_[i].OrInPlaceCountNew(up_[j], &gained);
+          if (added) {
+            arc_count_ += added;
+            scratch.UnionWith(gained);
+            gained.ForEach([&](std::size_t g) {
+              down_[g].Set(i);
+              for (const auto& [m, o] : parents_[g]) {
+                if (kind_[m] == ExprKind::kSum || up_[i].Test(o)) {
+                  TrySetArc(i, m);
+                }
+              }
+            });
+          }
+        } else {
+          arc_count_ += up_[i].OrInPlaceCountNew(up_[j], &delta_up_[i]);
+        }
+      }
+      for (const auto& [m, o] : parents_[j]) {
+        if (kind_[m] == ExprKind::kSum || up_[i].Test(o)) TrySetArc(i, m);
+      }
+      if (governed && (++*consumed_strider % kCheckStride) == 0) {
+        Status st = ctx.Check();
+        if (st.ok()) st = ctx.CheckArcs(arc_count_);
+        if (!st.ok()) {
+          // Put the already-consumed bits back on the frontier: their
+          // per-arc effects are idempotent, and the row-level pushes
+          // below have not run for them yet — re-consuming on resume is
+          // sound and completes the round. Rows after this one keep
+          // their dirty flags (only reset after a full drain).
+          delta_up_[i].UnionWith(scratch);
+          stats_.rules_seconds += SecondsSince(rules_start);
+          return st;
+        }
+      }
+    }
+    // Rule 7, delta on the right: predecessors absorb the drained bits.
+    for (std::size_t p = down_[i].NextSetBit(0); p < n;
+         p = down_[i].NextSetBit(p + 1)) {
+      if (p == i) continue;
+      std::size_t added = up_[p].OrInPlaceCountNew(scratch, &delta_up_[p]);
+      if (added) {
+        arc_count_ += added;
+        dirty_rows_.Set(static_cast<uint32_t>(p));
+      }
+    }
+    // Rules 3/2: parents absorb the drained bits.
+    for (const auto& [m, o] : parents_[i]) {
+      std::size_t added =
+          kind_[m] == ExprKind::kProduct
+              ? up_[m].OrInPlaceCountNew(scratch, &delta_up_[m])
+              : up_[m].OrAndInPlaceCountNew(scratch, up_[o], &delta_up_[m]);
+      if (added) {
+        arc_count_ += added;
+        dirty_rows_.Set(m);
+      }
+    }
+    dirty_rows_.Reset(i);
+  }
+  stats_.rules_seconds += SecondsSince(rules_start);
+  return Status::OK();
+}
+
+// One dense round: the whole frontier is frozen into carry_ and consumed
+// by phase — scatter + per-arc column rules, then the blocked forward
+// join (64-row destination tiles walking the carry words in lockstep, so
+// the up_[j] source rows stay cache-hot across a tile), then backward
+// transitivity and the parent pulls. New arcs land in delta_up_ and feed
+// the next round (Jacobi across rounds). An abort restores every frozen
+// carry into delta_up_ and redoes the round on resume; all per-arc
+// effects are idempotent and the arc counter only counts transitions, so
+// the redo is exact.
+Status PdImplicationEngine::DenseRound(const std::vector<uint32_t>& worklist,
+                                       const ExecContext& ctx) {
+  const std::size_t n = vertices_.size();
+  const std::size_t words = (n + 63) / 64;
+  const bool governed = !ctx.unbounded();
+  if (carry_.size() < n) carry_.resize(n);
+  DynamicBitset carry_mask(n);
+  for (uint32_t i : worklist) {
+    if (carry_[i].size() != n) carry_[i] = DynamicBitset(n);
+    std::swap(carry_[i], delta_up_[i]);
+    if (carry_[i].Any()) carry_mask.Set(i);
+    dirty_rows_.Reset(i);
+  }
+  auto restore = [&] {
+    for (uint32_t i : worklist) {
+      delta_up_[i].UnionWith(carry_[i]);
+      carry_[i].Clear();
+      dirty_rows_.Set(i);
+    }
+  };
+  auto governed_check = [&]() -> Status {
+    Status st = ctx.Check();
+    if (st.ok()) st = ctx.CheckArcs(arc_count_);
+    return st;
+  };
+
+  // Incremental transpose: scatter the frozen frontier into down_ one
+  // 64-column stripe at a time, so the 64 destination rows of down_ a
+  // stripe touches stay cache-resident across the whole worklist.
+  auto transpose_start = SteadyClock::now();
+  for (std::size_t wk = 0; wk < words; ++wk) {
+    if (governed) {
+      Status st = governed_check();
+      if (!st.ok()) {
+        restore();
+        stats_.transpose_seconds += SecondsSince(transpose_start);
+        return st;
+      }
+    }
+    for (uint32_t i : worklist) {
+      uint64_t w = carry_[i].word(wk);
+      while (w) {
+        const std::size_t j =
+            (wk << 6) + static_cast<std::size_t>(__builtin_ctzll(w));
+        w &= w - 1;
+        down_[j].Set(i);
+      }
+    }
+  }
+  stats_.transpose_seconds += SecondsSince(transpose_start);
+
+  // Rules 5/4 per frozen arc: parents of j probe the single bit (i, m).
+  auto rules_start = SteadyClock::now();
+  std::size_t strider = 0;
+  for (uint32_t i : worklist) {
+    if (governed && (++strider % kCheckStride) == 0) {
+      Status st = governed_check();
+      if (!st.ok()) {
+        restore();
+        stats_.rules_seconds += SecondsSince(rules_start);
+        return st;
+      }
+    }
+    carry_[i].ForEach([&](std::size_t j) {
+      for (const auto& [m, o] : parents_[j]) {
+        if (kind_[m] == ExprKind::kSum || up_[i].Test(o)) TrySetArc(i, m);
+      }
+    });
+  }
+
+  // Blocked forward join (rule 7, delta on the left). Each destination
+  // tile accumulates raw ORs into per-row scratch accumulators — the
+  // branch-free OrWith kernel — and pays for counting once per row when
+  // the accumulator merges into up_. Sources are the live up_ rows, so
+  // later tiles see everything earlier tiles merged.
+  constexpr std::size_t kTileRows = 64;
+  std::array<DynamicBitset, kTileRows> acc;
+  for (std::size_t t0 = 0; t0 < worklist.size(); t0 += kTileRows) {
+    const std::size_t t1 = std::min(t0 + kTileRows, worklist.size());
+    if (governed) {
+      Status st = governed_check();
+      if (!st.ok()) {
+        restore();
+        stats_.rules_seconds += SecondsSince(rules_start);
+        return st;
+      }
+    }
+    for (std::size_t t = t0; t < t1; ++t) {
+      if (acc[t - t0].size() != n) {
+        acc[t - t0] = DynamicBitset(n);
+      } else {
+        acc[t - t0].Clear();
+      }
+    }
+    for (std::size_t wk = 0; wk < words; ++wk) {
+      for (std::size_t t = t0; t < t1; ++t) {
+        const uint32_t i = worklist[t];
+        uint64_t w = carry_[i].word(wk);
+        while (w) {
+          const std::size_t j =
+              (wk << 6) + static_cast<std::size_t>(__builtin_ctzll(w));
+          w &= w - 1;
+          if (j != i) acc[t - t0].OrWith(up_[j]);
+        }
+      }
+    }
+    for (std::size_t t = t0; t < t1; ++t) {
+      const uint32_t i = worklist[t];
+      arc_count_ += up_[i].OrInPlaceCountNew(acc[t - t0], &delta_up_[i]);
+    }
+  }
+
+  // Backward join (rule 7, delta on the right), destination-major: row p
+  // pulls the carry of every frozen row it reaches (cand = up_[p] ∩
+  // carry_mask — a superset of the consumed arcs, which is sound: any
+  // derived arc (p, i) supports transitivity). Raw ORs into one scratch
+  // row, one counted merge per destination.
+  DynamicBitset cand(n);
+  DynamicBitset scratch(n);
+  strider = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    cand = carry_mask;
+    cand.IntersectWith(up_[p]);
+    cand.Reset(p);
+    // Frozen sources this row consumed via the forward join already
+    // delivered up_ ⊇ carry there — skip them. (Rows never frozen by
+    // any dense round keep a zero-sized carry.)
+    if (carry_[p].size() == n) cand.SubtractWith(carry_[p]);
+    if (cand.None()) continue;
+    if (governed && (++strider % kCheckStride) == 0) {
+      Status st = governed_check();
+      if (!st.ok()) {
+        restore();
+        stats_.rules_seconds += SecondsSince(rules_start);
+        return st;
+      }
+    }
+    scratch.Clear();
+    cand.ForEach([&](std::size_t i) { scratch.OrWith(carry_[i]); });
+    std::size_t added = up_[p].OrInPlaceCountNew(scratch, &delta_up_[p]);
+    if (added) {
+      arc_count_ += added;
+      dirty_rows_.Set(static_cast<uint32_t>(p));
+    }
+  }
+
+  // Rules 3/2: parents pull the frozen carries.
+  for (uint32_t i : worklist) {
+    for (const auto& [m, o] : parents_[i]) {
+      std::size_t added =
+          kind_[m] == ExprKind::kProduct
+              ? up_[m].OrInPlaceCountNew(carry_[i], &delta_up_[m])
+              : up_[m].OrAndInPlaceCountNew(carry_[i], up_[o], &delta_up_[m]);
+      if (added) {
+        arc_count_ += added;
+        dirty_rows_.Set(m);
+      }
+    }
+  }
+  stats_.rules_seconds += SecondsSince(rules_start);
+
+  // Frontier fully consumed: drop the carries, flag rows that gained.
+  transpose_start = SteadyClock::now();
+  for (uint32_t i : worklist) {
+    carry_[i].Clear();
+    if (delta_up_[i].Any()) dirty_rows_.Set(i);
+  }
+  stats_.transpose_seconds += SecondsSince(transpose_start);
+  return Status::OK();
+}
+
+// Banded Jacobi delta fixpoint. Per round, the driver freezes the
+// frontier (swap delta_up_ -> carry_) and a mask of which rows own a
+// nonempty carry; then one ParallelFor over destination rows p, each
+// worker writing only its own band of up_/delta_up_ rows and reading
+// only frozen state: carry_, the dirty mask, and prev_up_ — a mirror of
+// up_ as of the last round boundary (so carry_[p] ⊆ prev_up_[p] for
+// every p). Each destination row pulls every rule whose conclusion
+// lands in it:
+//   rule 7, Δ left   — for j in carry_[p]:  up_[p] |= prev_up_[j];
+//   rule 7, Δ right  — for j in (up_[p] \ carry_[p]) ∩ dirty:
+//                      up_[p] |= carry_[j]  (only the delta-width carry,
+//                      the rest of row j already arrived in some earlier
+//                      round);
+//   rules 3/2        — composite p pulls carry_[child] (product) or
+//                      carry_[l] ∩ prev_up_[r] + carry_[r] ∩ prev_up_[l]
+//                      (sum; prev includes both carries, so a premise
+//                      pair split across the two frontiers still meets);
+//   rules 5/4        — for j in carry_[p], each parent (m, o) of j turns
+//                      on bit m (sum always, product when (p, o) holds).
+// New bits go to the worker's own delta_up_[p] and a worker-local dirty
+// set; the driver merges dirty sets and arc counts after the barrier,
+// then resyncs prev_up_ — copying only rows that changed this round —
+// and clears the consumed carries. Monotone rules + "every frontier bit
+// is eventually consumed" gives the same least fixpoint as the serial
+// engine; the structural argument is spelled out in
+// docs/architecture.md. down_ is not maintained here (nothing reads it
+// in pool mode).
+Status PdImplicationEngine::DeltaFixpointParallel(const ExecContext& ctx) {
+  const std::size_t n = vertices_.size();
+  const bool governed = !ctx.unbounded();
+  const std::size_t num_workers = pool_->num_threads();
+
+  // Bring the mirror and carries up to size and establish the round-
+  // boundary invariant prev_up_ == up_ (rows [0, old prev size) may be
+  // stale from before a vertex batch, new rows are fresh).
+  auto transpose_start = SteadyClock::now();
+  if (prev_up_.size() < n) prev_up_.resize(n);
+  if (carry_.size() < n) carry_.resize(n);
+  pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      prev_up_[i] = up_[i];
+      if (carry_[i].size() != n) carry_[i] = DynamicBitset(n);
+    }
+  });
+  stats_.transpose_seconds += SecondsSince(transpose_start);
+
+  std::vector<uint32_t> worklist;
+  DynamicBitset dirty_mask(n);
+  std::vector<DynamicBitset> worker_dirty(num_workers, DynamicBitset(n));
+  std::vector<std::size_t> worker_added(num_workers, 0);
+  std::vector<DynamicBitset> worker_cand(num_workers, DynamicBitset(n));
   // Cooperative abort: any band that observes a tripped context sets the
-  // flag; every band checks it per row and bails, and the driving thread
-  // surfaces the Status after the barrier. Mid-sweep writes are partial
-  // but sound (each is justified by snapshot arcs), so the matrix stays
-  // a valid warm start.
+  // flag; bands poll it per row and bail, and the driver surfaces the
+  // Status after the barrier (restoring the frozen frontier first).
   std::atomic<bool> aborted{false};
   auto band_check = [&](std::size_t i) {
     if (aborted.load(std::memory_order_relaxed)) return true;
@@ -286,229 +661,136 @@ Status PdImplicationEngine::ParallelFixpoint(const ExecContext& ctx) {
     }
     return false;
   };
-  while (changed.load(std::memory_order_relaxed)) {
-    changed.store(false, std::memory_order_relaxed);
-    ++passes;
-    stats_.passes = passes;
+
+  while (dirty_rows_.Any()) {
+    ++stats_.passes;
+    ++stats_.sparse_rounds;  // single-mode: banded rounds count as sparse
     if (PSEM_FAILPOINT(failpoints::kAlgSweep)) {
       return Status::Internal("injected closure-sweep fault (psem.alg.sweep)");
     }
-    if (governed) PSEM_RETURN_IF_ERROR(ctx.Check());
+    if (governed) {
+      PSEM_RETURN_IF_ERROR(ctx.Check());
+      PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arc_count_));
+    }
+    const std::size_t round_start_arcs = arc_count_;
 
-    // Snapshot up -> prev.
-    auto transpose_start = SteadyClock::now();
-    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) prev[i] = up_[i];
-    });
-    stats_.transpose_seconds += SecondsSince(transpose_start);
+    // Freeze the frontier (driver only; no worker is running here).
+    worklist.clear();
+    dirty_rows_.ForEach(
+        [&](std::size_t i) { worklist.push_back(static_cast<uint32_t>(i)); });
+    dirty_mask = dirty_rows_;
+    for (uint32_t i : worklist) std::swap(carry_[i], delta_up_[i]);
+    dirty_rows_.Clear();
 
-    // Row-space sweep: rule 7 (transitivity) and rules 3/2, reading prev,
-    // writing each worker's own band of up rows.
+    // Banded pull sweep over destination rows.
     auto rules_start = SteadyClock::now();
-    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
-      bool local = false;
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (governed && band_check(i)) break;
-        for (std::size_t j = prev[i].NextSetBit(0); j < n;
-             j = prev[i].NextSetBit(j + 1)) {
-          if (j != i) local |= up_[i].UnionWith(prev[j]);
+    pool_->ParallelFor(n, [&](std::size_t band, std::size_t lo,
+                              std::size_t hi) {
+      worker_added[band] = 0;
+      worker_dirty[band].Clear();
+      DynamicBitset& cand = worker_cand[band];
+      for (std::size_t p = lo; p < hi; ++p) {
+        if (governed && band_check(p)) break;
+        const bool p_dirty = dirty_mask.Test(p);
+        std::size_t added = 0;
+        // Rule 7, delta on the left: consume row p's own carry.
+        if (p_dirty) {
+          for (std::size_t j = carry_[p].NextSetBit(0); j < n;
+               j = carry_[p].NextSetBit(j + 1)) {
+            if (j != p) {
+              added += up_[p].OrInPlaceCountNew(prev_up_[j], &delta_up_[p]);
+            }
+          }
         }
-        if (kind_[i] == ExprKind::kProduct) {
-          local |= up_[i].UnionWith(prev[lhs_[i]]);
-          local |= up_[i].UnionWith(prev[rhs_[i]]);
-        } else if (kind_[i] == ExprKind::kSum) {
-          local |= up_[i].UnionWithAnd(prev[lhs_[i]], prev[rhs_[i]]);
+        // Rule 7, delta on the right: arcs (p, j) consumed in earlier
+        // rounds meet row j's fresh carry. up_ \ carry_ excludes p's own
+        // frontier (those j were fully joined via prev_up_ above).
+        if (p_dirty) {
+          cand.AndNot(up_[p], carry_[p]);
+        } else {
+          cand = up_[p];
+        }
+        cand.IntersectWith(dirty_mask);
+        for (std::size_t j = cand.NextSetBit(0); j < n;
+             j = cand.NextSetBit(j + 1)) {
+          if (j != p) {
+            added += up_[p].OrInPlaceCountNew(carry_[j], &delta_up_[p]);
+          }
+        }
+        // Rules 3/2: composite p pulls its children's carries.
+        if (lhs_[p] != kNoVertex) {
+          const uint32_t l = lhs_[p], r = rhs_[p];
+          if (kind_[p] == ExprKind::kProduct) {
+            if (dirty_mask.Test(l)) {
+              added += up_[p].OrInPlaceCountNew(carry_[l], &delta_up_[p]);
+            }
+            if (r != l && dirty_mask.Test(r)) {
+              added += up_[p].OrInPlaceCountNew(carry_[r], &delta_up_[p]);
+            }
+          } else {  // sum: carry ⊆ prev_up_, so the two terms cover all
+                    // premise pairs with at least one fresh side
+            if (dirty_mask.Test(l)) {
+              added += up_[p].OrAndInPlaceCountNew(carry_[l], prev_up_[r],
+                                                   &delta_up_[p]);
+            }
+            if (r != l && dirty_mask.Test(r)) {
+              added += up_[p].OrAndInPlaceCountNew(carry_[r], prev_up_[l],
+                                                   &delta_up_[p]);
+            }
+          }
+        }
+        // Rules 5/4: each fresh arc (p, j) probes j's parents.
+        if (p_dirty) {
+          for (std::size_t j = carry_[p].NextSetBit(0); j < n;
+               j = carry_[p].NextSetBit(j + 1)) {
+            for (const auto& [m, o] : parents_[j]) {
+              if ((kind_[m] == ExprKind::kSum || up_[p].Test(o)) &&
+                  !up_[p].Test(m)) {
+                up_[p].Set(m);
+                delta_up_[p].Set(m);
+                ++added;
+              }
+            }
+          }
+        }
+        if (added) {
+          worker_added[band] += added;
+          worker_dirty[band].Set(p);
         }
       }
-      if (local) changed.store(true, std::memory_order_relaxed);
     });
     stats_.rules_seconds += SecondsSince(rules_start);
+
+    // Merge worker results (driver only).
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      arc_count_ += worker_added[w];
+      dirty_rows_.UnionWith(worker_dirty[w]);
+    }
     if (governed && aborted.load(std::memory_order_relaxed)) {
+      // Restore the frozen frontier so the resume re-runs this round.
+      // Partial writes are sound (monotone, justified by frozen state)
+      // and the re-run is idempotent arc-count-wise.
+      for (uint32_t i : worklist) {
+        delta_up_[i].UnionWith(carry_[i]);
+        carry_[i].Clear();
+        dirty_rows_.Set(i);
+      }
+      aborted.store(false, std::memory_order_relaxed);
       return ctx.Check();
     }
 
-    // Transpose up -> down, banded by destination row (= up column), so
-    // every down row has exactly one writer.
+    // Resync prev_up_ for changed rows only and retire the carries.
     transpose_start = SteadyClock::now();
     pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
-      for (std::size_t j = lo; j < hi; ++j) down_[j].Clear();
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = up_[i].NextSetBit(lo); j < hi;
-             j = up_[i].NextSetBit(j + 1)) {
-          down_[j].Set(i);
-        }
-      }
-    });
-    // Snapshot down -> prev.
-    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) prev[i] = down_[i];
-    });
-    stats_.transpose_seconds += SecondsSince(transpose_start);
-
-    // Column-space sweep: rules 5/4 on down, reading the snapshot.
-    rules_start = SteadyClock::now();
-    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
-      bool local = false;
-      for (std::size_t m = lo; m < hi; ++m) {
-        if (kind_[m] == ExprKind::kSum) {
-          local |= down_[m].UnionWith(prev[lhs_[m]]);
-          local |= down_[m].UnionWith(prev[rhs_[m]]);
-        } else if (kind_[m] == ExprKind::kProduct) {
-          local |= down_[m].UnionWithAnd(prev[lhs_[m]], prev[rhs_[m]]);
-        }
-      }
-      if (local) changed.store(true, std::memory_order_relaxed);
-    });
-    stats_.rules_seconds += SecondsSince(rules_start);
-
-    // Transpose down -> up, banded by up row.
-    transpose_start = SteadyClock::now();
-    pool_->ParallelFor(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) up_[i].Clear();
-      for (std::size_t j = 0; j < n; ++j) {
-        for (std::size_t i = down_[j].NextSetBit(lo); i < hi;
-             i = down_[j].NextSetBit(i + 1)) {
-          up_[i].Set(j);
-        }
+      for (std::size_t p = lo; p < hi; ++p) {
+        if (dirty_rows_.Test(p)) prev_up_[p] = up_[p];
+        if (dirty_mask.Test(p)) carry_[p].Clear();
       }
     });
     stats_.transpose_seconds += SecondsSince(transpose_start);
 
-    std::size_t arcs_now = CountArcs();
-    stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
-    arcs_before = arcs_now;
-    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arcs_now));
-  }
-  return Status::OK();
-}
-
-// Frontier-restricted fixpoint for warm starts. Vertices [0, old_n)
-// carry a finished closure, and by Lemma 9.2 (V-independence of "E |=
-// e <= e'") every rule instance whose conclusion is an old-old arc is
-// already satisfied — the old closure contains all implied arcs over the
-// old vertices no matter how V grows. The only arc positions that can
-// change are: new rows (full width), and the new-column tails of old
-// rows. Each sweep therefore touches new rows at full width and old rows
-// only from bit old_n on, which costs O(arcs * tail_words) instead of
-// O(arcs * n / 64); the per-pass transposes shrink the same way. Rules
-// 3/2 (resp. 5/4) on an old composite row read only its children's rows,
-// and children of old vertices are always old (AddVertex interns
-// children first), so the tail-restricted unions see every premise they
-// need. down_ == transpose(up_) holds again on exit.
-Status PdImplicationEngine::IncrementalFixpoint(std::size_t old_n,
-                                                const ExecContext& ctx) {
-  const std::size_t n = vertices_.size();
-  const bool governed = !ctx.unbounded();
-  std::size_t passes = 0;
-  std::size_t arcs_before = CountArcs();
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    stats_.passes = ++passes;
-    if (PSEM_FAILPOINT(failpoints::kAlgSweep)) {
-      return Status::Internal("injected closure-sweep fault (psem.alg.sweep)");
-    }
-    if (governed) PSEM_RETURN_IF_ERROR(ctx.Check());
-
-    // Row-space sweep. New rows: rule 7 (transitivity) and rules 3/2 at
-    // full width.
-    auto rules_start = SteadyClock::now();
-    for (std::size_t i = old_n; i < n; ++i) {
-      if (governed && ((i - old_n) % kCheckStride) == 0) {
-        PSEM_RETURN_IF_ERROR(ctx.Check());
-      }
-      for (std::size_t j = up_[i].NextSetBit(0); j < n;
-           j = up_[i].NextSetBit(j + 1)) {
-        if (j != i) changed |= up_[i].UnionWith(up_[j]);
-      }
-      if (kind_[i] == ExprKind::kProduct) {
-        changed |= up_[i].UnionWith(up_[lhs_[i]]);
-        changed |= up_[i].UnionWith(up_[rhs_[i]]);
-      } else if (kind_[i] == ExprKind::kSum) {
-        changed |= up_[i].UnionWithAnd(up_[lhs_[i]], up_[rhs_[i]]);
-      }
-    }
-    // Old rows: same rules, but only the tail (bits >= old_n) may grow.
-    for (std::size_t i = 0; i < old_n; ++i) {
-      if (governed && (i % kCheckStride) == 0) {
-        PSEM_RETURN_IF_ERROR(ctx.Check());
-      }
-      for (std::size_t j = up_[i].NextSetBit(0); j < n;
-           j = up_[i].NextSetBit(j + 1)) {
-        if (j != i) changed |= up_[i].UnionWithFrom(up_[j], old_n);
-      }
-      if (kind_[i] == ExprKind::kProduct) {
-        changed |= up_[i].UnionWithFrom(up_[lhs_[i]], old_n);
-        changed |= up_[i].UnionWithFrom(up_[rhs_[i]], old_n);
-      } else if (kind_[i] == ExprKind::kSum) {
-        changed |= up_[i].UnionWithAndFrom(up_[lhs_[i]], up_[rhs_[i]], old_n);
-      }
-    }
-    stats_.rules_seconds += SecondsSince(rules_start);
-
-    // Resync the mutable region of down_ with up_. The old-old block of
-    // down_ is final and untouched; only old-row tails and new rows are
-    // rebuilt.
-    auto transpose_start = SteadyClock::now();
-    for (std::size_t j = 0; j < old_n; ++j) down_[j].ClearFrom(old_n);
-    for (std::size_t j = old_n; j < n; ++j) down_[j].Clear();
-    for (std::size_t i = old_n; i < n; ++i) {
-      for (std::size_t j = up_[i].NextSetBit(0); j < n;
-           j = up_[i].NextSetBit(j + 1)) {
-        down_[j].Set(i);
-      }
-    }
-    for (std::size_t i = 0; i < old_n; ++i) {
-      for (std::size_t j = up_[i].NextSetBit(old_n); j < n;
-           j = up_[i].NextSetBit(j + 1)) {
-        down_[j].Set(i);
-      }
-    }
-    stats_.transpose_seconds += SecondsSince(transpose_start);
-
-    // Column-space sweep: rules 5/4, new down rows at full width, old
-    // down rows tail-only.
-    rules_start = SteadyClock::now();
-    for (std::size_t m = old_n; m < n; ++m) {
-      if (kind_[m] == ExprKind::kSum) {
-        changed |= down_[m].UnionWith(down_[lhs_[m]]);
-        changed |= down_[m].UnionWith(down_[rhs_[m]]);
-      } else if (kind_[m] == ExprKind::kProduct) {
-        changed |= down_[m].UnionWithAnd(down_[lhs_[m]], down_[rhs_[m]]);
-      }
-    }
-    for (std::size_t m = 0; m < old_n; ++m) {
-      if (kind_[m] == ExprKind::kSum) {
-        changed |= down_[m].UnionWithFrom(down_[lhs_[m]], old_n);
-        changed |= down_[m].UnionWithFrom(down_[rhs_[m]], old_n);
-      } else if (kind_[m] == ExprKind::kProduct) {
-        changed |=
-            down_[m].UnionWithAndFrom(down_[lhs_[m]], down_[rhs_[m]], old_n);
-      }
-    }
-    stats_.rules_seconds += SecondsSince(rules_start);
-
-    // Scatter the down-side additions back into up_ (bits already set
-    // are no-ops, so no change tracking is needed here).
-    transpose_start = SteadyClock::now();
-    for (std::size_t m = old_n; m < n; ++m) {
-      for (std::size_t i = down_[m].NextSetBit(0); i < n;
-           i = down_[m].NextSetBit(i + 1)) {
-        up_[i].Set(m);
-      }
-    }
-    for (std::size_t m = 0; m < old_n; ++m) {
-      for (std::size_t i = down_[m].NextSetBit(old_n); i < n;
-           i = down_[m].NextSetBit(i + 1)) {
-        up_[i].Set(m);
-      }
-    }
-    stats_.transpose_seconds += SecondsSince(transpose_start);
-
-    std::size_t arcs_now = CountArcs();
-    stats_.pass_arc_delta.push_back(arcs_now - arcs_before);
-    arcs_before = arcs_now;
-    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arcs_now));
+    stats_.pass_arc_delta.push_back(arc_count_ - round_start_arcs);
+    if (governed) PSEM_RETURN_IF_ERROR(ctx.CheckArcs(arc_count_));
   }
   return Status::OK();
 }

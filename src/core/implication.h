@@ -11,26 +11,36 @@
 // query, then close a digraph Gamma over V under seven arc rules; the
 // query e <= e' is implied iff the arc (e, e') appears (Lemma 9.2).
 //
-// PdImplicationEngine implements ALG with bit-parallel row operations on
-// the arc matrix (a straightforward implementation is O(n^4); the bitset
-// representation divides the constant by 64), three service-layer
-// extensions on top (see docs/architecture.md for the full correctness
-// arguments):
+// PdImplicationEngine implements ALG as a *semi-naive delta fixpoint*
+// over bit-parallel rows (a straightforward implementation is O(n^4); the
+// bitset representation divides the constant by 64, and the delta
+// discipline removes the redundant rescans): every row keeps a new-arc
+// frontier (delta_up_), a worklist tracks the rows whose frontier
+// changed, and each round applies the seven arc rules only to those
+// deltas — transitivity is joined against the delta, never the full
+// relation, the column view is maintained incrementally from consumed
+// deltas instead of per-pass transpose rebuilds, and an exact running arc
+// counter replaces per-pass full-matrix count scans. When the frontier
+// saturates, the serial engine switches to a cache-blocked 64-row-tile
+// kernel for the dense endgame. Service-layer extensions on top (see
+// docs/architecture.md for the full correctness arguments):
 //
-//  * Parallel closure. With EngineOptions::num_threads > 1 the fixpoint
-//    runs Jacobi-style: each worker owns a contiguous band of Gamma's
-//    bitset rows, every sweep reads a frozen snapshot of the previous
-//    frontier and writes only its own rows, and sweeps are separated by a
-//    ThreadPool barrier. Because the seven rules are monotone (arcs are
-//    only ever added) and every write is justified by snapshot arcs, the
+//  * Parallel closure. With EngineOptions::num_threads > 1 the delta
+//    rounds run Jacobi-style: each worker owns a contiguous band of
+//    Gamma's bitset rows, consumes the round's frozen frontier against a
+//    persistent row mirror (re-synced only for rows that changed), and
+//    writes only its own rows; rounds are separated by a ThreadPool
+//    barrier. Because the seven rules are monotone (arcs are only ever
+//    added) and every write is justified by mirrored/frozen arcs, the
 //    parallel loop converges to the same least fixpoint as the serial one.
 //
 //  * Incremental closure. Lemma 9.2 identifies "arc (e, e') in the closed
 //    Gamma" with the V-independent relation E |= e <= e'; hence arcs
 //    between existing vertices never change when V grows. Prepare/Implies
-//    with new subexpressions therefore extends the rows in place and
-//    re-closes from the previous closure as a warm start (only the dirty
-//    frontier propagates) instead of restarting from the seed arcs.
+//    with new subexpressions therefore extends the rows in place, seeds
+//    the worklist from the dirty frontier alone (new vertices plus the
+//    composite catch-up arcs), and re-closes from the previous closure as
+//    a warm start instead of restarting from the seed arcs.
 //
 //  * Batched queries. BatchImplies answers a whole query span against one
 //    shared closure, and an LRU cache keyed on interned (ExprId, ExprId)
@@ -67,10 +77,16 @@ namespace psem {
 struct AlgStats {
   std::size_t num_vertices = 0;  ///< |V|: distinct subexpressions.
   std::size_t num_arcs = 0;      ///< arcs in the final Gamma.
-  std::size_t passes = 0;        ///< fixpoint sweeps of the last closure.
+  std::size_t passes = 0;        ///< delta rounds of the last closure.
 
-  /// Arcs added by each sweep of the most recent closure (index = pass).
+  /// Arcs added by each round of the most recent closure (index = round).
   std::vector<std::size_t> pass_arc_delta;
+
+  /// Rounds of the last closure served by each kernel of the semi-naive
+  /// sweep: the per-row worklist (sparse) vs the blocked 64-row tile
+  /// kernel (dense). The parallel banded sweep counts as sparse.
+  std::size_t sparse_rounds = 0;
+  std::size_t dense_rounds = 0;
 
   // Wall-clock seconds per phase, accumulated over the engine's lifetime.
   double seed_seconds = 0.0;       ///< seeding reflexive + constraint arcs.
@@ -113,6 +129,14 @@ struct EngineOptions {
   /// Capacity of the LRU query cache ((ExprId, ExprId) -> bool).
   /// 0 disables caching.
   std::size_t cache_capacity = 1024;
+  /// Serial-mode sparse->dense switch: a delta round runs the blocked
+  /// dense kernel when at least `dense_min_rows` rows are dirty AND the
+  /// pending frontier averages at least |V|/`dense_inv_density` arcs per
+  /// dirty row. The defaults keep chain-like closures (tiny per-row
+  /// deltas) permanently sparse; tests lower dense_min_rows to force the
+  /// dense kernel deterministically.
+  std::size_t dense_min_rows = 64;
+  std::size_t dense_inv_density = 8;
 };
 
 /// Decides E |= e = e' / e <= e' by Algorithm ALG. Queries may introduce
@@ -179,23 +203,32 @@ class PdImplicationEngine {
   // used to enforce a vertex budget BEFORE mutating V.
   std::size_t CountNewVertices(ExprId e, std::set<ExprId>* seen) const;
   // All closure routines return OK, or the ctx/fail-point Status that
-  // stopped them early. An early stop leaves closure_valid_ == false and
-  // the partially propagated arc matrix in place — every written arc is a
-  // sound consequence of E and the rules are monotone, so the next
-  // ComputeClosure converges to the same least fixpoint from that state
-  // (or reseeds, for a cold start).
+  // stopped them early. An early stop leaves closure_valid_ == false with
+  // the partially propagated arc matrix, the unconsumed delta_up_ rows,
+  // and the dirty-row worklist all in place — every written arc is a
+  // sound consequence of E, every arc not yet propagated is still flagged
+  // unconsumed, and the rules are monotone, so the next ComputeClosure
+  // resumes from exactly that state and converges to the same least
+  // fixpoint a cold engine reaches.
   Status ComputeClosure(const ExecContext& ctx);
-  // Runs the fixpoint over rules 2-5 and 7 starting from the current up_
-  // state (seed arcs or a previous closure) until no sweep adds an arc.
-  // All three leave down_ == transpose(up_) on (successful) exit.
-  Status SerialFixpoint(const ExecContext& ctx);
-  Status ParallelFixpoint(const ExecContext& ctx);
-  // Frontier-restricted fixpoint for the incremental case: vertices
-  // [0, old_n) carry a finished closure whose old-old arcs are final
-  // (Lemma 9.2), so sweeps touch only new rows (full width) and the
-  // new-column tails of old rows. See docs/architecture.md.
-  Status IncrementalFixpoint(std::size_t old_n, const ExecContext& ctx);
-  std::size_t CountArcs() const;
+  // Semi-naive delta fixpoint (rules 2-5 and 7): every round consumes the
+  // per-row new-arc frontier (delta_up_) of the rows on the worklist and
+  // derives only from those deltas; an arc is consumed exactly once over
+  // the whole closure. The serial driver picks per round between the
+  // sparse worklist kernel and the blocked 64-row-tile dense kernel on
+  // measured frontier density; the parallel driver runs banded delta
+  // rounds over a persistent row mirror (prev_up_) that is re-synced only
+  // for rows whose frontier changed. See docs/architecture.md.
+  Status DeltaFixpointSerial(const ExecContext& ctx);
+  Status DeltaFixpointParallel(const ExecContext& ctx);
+  Status SparseRound(const std::vector<uint32_t>& worklist,
+                     const ExecContext& ctx, std::size_t* consumed_strider);
+  Status DenseRound(const std::vector<uint32_t>& worklist,
+                    const ExecContext& ctx);
+  // Adds arc (i, m) unless present: sets the up_ bit, flags it
+  // unconsumed in delta_up_, and bumps the exact arc counter. Serial
+  // paths only (writes the shared dirty-row set).
+  void TrySetArc(uint32_t i, uint32_t m);
 
   // LRU query cache over packed (e1, e2) keys. Verdicts stay valid across
   // closure growth (Lemma 9.2 makes them V-independent), so entries are
@@ -217,17 +250,39 @@ class PdImplicationEngine {
   static constexpr uint32_t kNoVertex = UINT32_MAX;
   std::vector<uint32_t> lhs_, rhs_;
   std::vector<ExprKind> kind_;
+  // parents_[c] lists every composite m having c as a child, paired with
+  // the other child (== c when both children coincide). Drives the
+  // delta-driven parent rules: one probe per newly consumed arc instead
+  // of a full sweep over all composites.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> parents_;
 
   // up_[i] bit j set <=> arc (i, j) in Gamma, i.e. i <=_E j.
   std::vector<DynamicBitset> up_;
-  // Column view: down_[j] bit i set <=> arc (i, j). Kept equal to the
-  // transpose of up_ whenever closure_valid_; the incremental fixpoint
-  // warm-starts from both matrices.
+  // Column view: down_[j] bit i set <=> arc (i, j) *consumed*. Maintained
+  // incrementally — down_[j] gains bit i at the moment the delta bit
+  // (i, j) is consumed, never by a full transpose rebuild — and serves as
+  // the predecessor index for backward transitivity. Serial engines only;
+  // the parallel sweep replaces it with dirty-mask row scans.
   std::vector<DynamicBitset> down_;
+  // Semi-naive frontier: delta_up_[i] holds the arcs of row i not yet
+  // propagated (always a subset of up_[i]); dirty_rows_ flags rows with a
+  // nonempty frontier and doubles as the persistent worklist, so aborted
+  // closures resume without reseeding.
+  std::vector<DynamicBitset> delta_up_;
+  DynamicBitset dirty_rows_;
+  // Per-round frozen frontier (dense + parallel rounds) and the parallel
+  // sweep's persistent row mirror (re-synced only for changed rows).
+  std::vector<DynamicBitset> carry_;
+  std::vector<DynamicBitset> prev_up_;
+  // Exact running arc count: bumped once per up_ bit transition by the
+  // OrInPlaceCountNew kernels and TrySetArc; replaces the per-pass
+  // full-matrix count scans. Stays exact across aborted closures.
+  std::size_t arc_count_ = 0;
   bool closure_valid_ = false;
-  // Number of vertices covered by the last completed closure; rows beyond
-  // it are not yet seeded. 0 means no closure has ever been computed.
-  std::size_t closed_vertices_ = 0;
+  // Number of rows whose seed arcs (reflexive + constraints, or the
+  // incremental composite catch-up) have been planted in the delta state.
+  // 0 means no closure has ever been started.
+  std::size_t seeded_vertices_ = 0;
   AlgStats stats_;
 
   std::list<std::pair<uint64_t, bool>> lru_;  // front = most recent

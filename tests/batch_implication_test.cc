@@ -210,6 +210,75 @@ TEST(QueryCacheTest, EvictionKeepsAnswersCorrect) {
   }
 }
 
+// --- 4. the sparse<->dense mode switch -----------------------------------------
+
+// Force every eligible round through the blocked 64-row-tile kernel by
+// dropping the row floor to 1 and the per-row density requirement to its
+// minimum: the resulting closure matrix must be identical — vertex count,
+// arc count, and full verdict grid — to the default (density-gated)
+// serial engine and to the banded parallel engine on a saturating,
+// equation-heavy theory.
+TEST(DenseModeTest, BlockedDenseRoundsMatchBandedParallelClosure) {
+  Rng rng(31337);
+  ExprArena arena;
+  std::vector<Pd> e = RandomTheory(&arena, &rng, 6, 48, 8);
+  PdImplicationEngine forced(&arena, e,
+                             EngineOptions{.dense_min_rows = 1,
+                                           .dense_inv_density = SIZE_MAX});
+  PdImplicationEngine serial(&arena, e);
+  PdImplicationEngine parallel(&arena, e, EngineOptions{.num_threads = 4});
+  forced.Prepare({});
+  serial.Prepare({});
+  parallel.Prepare({});
+  EXPECT_GE(forced.stats().dense_rounds, 1u);
+  ASSERT_EQ(forced.stats().num_vertices, serial.stats().num_vertices);
+  ASSERT_EQ(forced.stats().num_arcs, serial.stats().num_arcs);
+  ASSERT_EQ(forced.stats().num_vertices, parallel.stats().num_vertices);
+  ASSERT_EQ(forced.stats().num_arcs, parallel.stats().num_arcs);
+  // Verdicts agree on the full attribute grid.
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      ExprId a = arena.Attr(std::string(1, static_cast<char>('A' + i)));
+      ExprId b = arena.Attr(std::string(1, static_cast<char>('A' + j)));
+      ASSERT_EQ(forced.LeqInClosure(a, b), serial.LeqInClosure(a, b));
+      ASSERT_EQ(serial.LeqInClosure(a, b), parallel.LeqInClosure(a, b));
+    }
+  }
+}
+
+// The forced-dense trajectory must also match the naive rule-by-rule
+// reference verdict-for-verdict on many small random theories.
+TEST(DenseModeTest, ForcedDenseMatchesNaiveOnRandomTheories) {
+  Rng rng(4242);
+  for (int set = 0; set < 60; ++set) {
+    ExprArena arena;
+    std::vector<Pd> e = RandomTheory(&arena, &rng, 3, 2, 2);
+    PdImplicationEngine forced(&arena, e,
+                               EngineOptions{.dense_min_rows = 1,
+                                             .dense_inv_density = SIZE_MAX});
+    for (int q = 0; q < 3; ++q) {
+      Pd query = RandomQuery(&arena, &rng, 3, 3);
+      ASSERT_EQ(forced.Implies(query), NaivePdImplication(arena, e, query))
+          << "set " << set << " query " << arena.ToString(query);
+    }
+  }
+}
+
+// Tiny theories never cross the 64-dirty-row floor: every round must be
+// sparse, so chain-like workloads keep their delta-proportional cost.
+TEST(DenseModeTest, SmallClosuresStaySparse) {
+  ExprArena arena;
+  std::vector<Pd> e;
+  for (int i = 0; i + 1 < 16; ++i) {
+    e.push_back(Pd::Leq(arena.Attr("A" + std::to_string(i)),
+                        arena.Attr("A" + std::to_string(i + 1))));
+  }
+  PdImplicationEngine engine(&arena, e);
+  engine.Prepare({});
+  EXPECT_EQ(engine.stats().dense_rounds, 0u);
+  EXPECT_GE(engine.stats().sparse_rounds, 1u);
+}
+
 TEST(AlgStatsTest, TrajectoryFieldsArePopulated) {
   ExprArena arena;
   std::vector<Pd> e = {*arena.ParsePd("A = A*B"), *arena.ParsePd("B = B*C")};

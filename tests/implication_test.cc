@@ -20,6 +20,7 @@
 #include "lattice/finite_lattice.h"
 #include "lattice/whitman.h"
 #include "partition/partition_lattice.h"
+#include "util/exec_context.h"
 #include "util/rng.h"
 
 namespace psem {
@@ -190,6 +191,91 @@ TEST_P(AlgDifferentialTest, EngineMatchesNaive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AlgDifferentialTest, ::testing::Range(0, 8));
+
+// --- differential: delta closure vs naive, across engine configurations -------
+//
+// Coverage for the semi-naive delta closure: 500 random theories
+// (20 seeds x 25 trials), each answered four ways against the literal
+// rule-by-rule reference:
+//   * serial, 2-thread, and 8-thread engines, queried incrementally so
+//     each later query extends V and exercises the warm-start seeding;
+//   * a budget-starved engine whose closure is aborted by WithMaxArcs
+//     and resumed with doubled budgets until it completes — the final
+//     verdicts after any number of aborted attempts must still match.
+// All engine configurations must also agree among themselves on the
+// final vertex and arc counts (the closure matrix is configuration-
+// independent).
+
+class DeltaClosureDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaClosureDifferentialTest, AllConfigurationsMatchNaive) {
+  Rng rng(9100 + GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    ExprArena arena;
+    std::vector<Pd> e = RandomTheory(&arena, &rng, 3, 2, 2);
+    std::vector<Pd> queries;
+    for (int q = 0; q < 4; ++q) {
+      ExprId l = RandomExpr(&arena, &rng, 3, 1 + q % 3);
+      ExprId r = RandomExpr(&arena, &rng, 3, 1 + (q + 1) % 3);
+      queries.push_back(q % 2 == 0 ? Pd::Leq(l, r) : Pd::Eq(l, r));
+    }
+    auto describe = [&](const Pd& query) {
+      std::string s = "E: ";
+      for (const Pd& pd : e) s += arena.ToString(pd) + "; ";
+      return s + " query: " + arena.ToString(query);
+    };
+    std::vector<bool> expected;
+    for (const Pd& q : queries) {
+      expected.push_back(NaivePdImplication(arena, e, q));
+    }
+
+    std::size_t final_vertices = 0, final_arcs = 0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      PdImplicationEngine engine(&arena, e,
+                                 EngineOptions{.num_threads = threads});
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        ASSERT_EQ(engine.Implies(queries[qi]), expected[qi])
+            << describe(queries[qi]) << " threads: " << threads;
+      }
+      if (threads == 1) {
+        final_vertices = engine.stats().num_vertices;
+        final_arcs = engine.stats().num_arcs;
+      } else {
+        ASSERT_EQ(engine.stats().num_vertices, final_vertices);
+        ASSERT_EQ(engine.stats().num_arcs, final_arcs)
+            << "closure diverged at " << threads << " threads";
+      }
+    }
+
+    // Abort-and-resume under escalating arc budgets.
+    PdImplicationEngine starved(&arena, e);
+    bool saw_abort = false;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      uint64_t budget = 1;
+      while (true) {
+        ExecContext ctx;
+        ctx.WithMaxArcs(budget);
+        Result<bool> r = starved.Implies(queries[qi], ctx);
+        if (r.ok()) {
+          ASSERT_EQ(*r, expected[qi])
+              << describe(queries[qi]) << " after budget aborts";
+          break;
+        }
+        saw_abort = true;
+        ASSERT_LT(budget, uint64_t{1} << 40);
+        budget *= 8;
+      }
+    }
+    ASSERT_TRUE(saw_abort);  // budget 1 must starve any nonempty closure
+    ASSERT_GE(starved.stats().aborted_closures, 1u);
+    ASSERT_EQ(starved.stats().num_vertices, final_vertices);
+    ASSERT_EQ(starved.stats().num_arcs, final_arcs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaClosureDifferentialTest,
+                         ::testing::Range(0, 20));
 
 // --- soundness against lattice models ------------------------------------------
 

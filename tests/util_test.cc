@@ -182,8 +182,12 @@ TEST(BitsetTest, ClearFromIsBitExact) {
     b.SetAll();
     b.ClearFrom(from);
     EXPECT_EQ(b.Count(), from) << "from=" << from;
-    if (from > 0) EXPECT_TRUE(b.Test(from - 1));
-    if (from < 130) EXPECT_FALSE(b.Test(from));
+    if (from > 0) {
+      EXPECT_TRUE(b.Test(from - 1));
+    }
+    if (from < 130) {
+      EXPECT_FALSE(b.Test(from));
+    }
   }
 }
 
@@ -218,6 +222,130 @@ TEST(BitsetTest, UnionWithAndFromMatchesIntersectThenUnion) {
     }
     EXPECT_EQ(got, want) << "from=" << from;
   }
+}
+
+TEST(BitsetTest, OrInPlaceCountNewCountsExactlyTheFreshBits) {
+  DynamicBitset dst(130), src(130), newly(130);
+  dst.Set(0);
+  dst.Set(64);
+  dst.Set(129);
+  src.Set(0);    // already present: not counted
+  src.Set(1);    // fresh
+  src.Set(64);   // already present
+  src.Set(65);   // fresh
+  src.Set(128);  // fresh, in the tail word
+  EXPECT_EQ(dst.OrInPlaceCountNew(src, &newly), 3u);
+  for (std::size_t i : {0u, 1u, 64u, 65u, 128u, 129u}) EXPECT_TRUE(dst.Test(i));
+  EXPECT_EQ(dst.Count(), 6u);
+  // `newly` holds exactly the fresh bits.
+  EXPECT_EQ(newly.Count(), 3u);
+  EXPECT_TRUE(newly.Test(1));
+  EXPECT_TRUE(newly.Test(65));
+  EXPECT_TRUE(newly.Test(128));
+  // Re-running is a no-op: nothing is fresh the second time.
+  EXPECT_EQ(dst.OrInPlaceCountNew(src, &newly), 0u);
+  EXPECT_EQ(newly.Count(), 3u);
+}
+
+TEST(BitsetTest, OrInPlaceCountNewMatchesUnionOnRandomSets) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Exercise tail-word masking: sizes straddle word boundaries.
+    std::size_t n = 1 + rng.Below(200);
+    DynamicBitset a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Below(3) == 0) a.Set(i);
+      if (rng.Below(3) == 0) b.Set(i);
+    }
+    DynamicBitset want = a;
+    want.UnionWith(b);
+    DynamicBitset got = a;
+    std::size_t before = got.Count();
+    std::size_t added = got.OrInPlaceCountNew(b);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(added, got.Count() - before);
+  }
+}
+
+TEST(BitsetTest, OrAndInPlaceCountNewMatchesUnionWithAnd) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 1 + rng.Below(200);
+    DynamicBitset dst(n), a(n), b(n), newly(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Below(4) == 0) dst.Set(i);
+      if (rng.Below(2) == 0) a.Set(i);
+      if (rng.Below(2) == 0) b.Set(i);
+    }
+    DynamicBitset want = dst;
+    want.UnionWithAnd(a, b);
+    std::size_t before = dst.Count();
+    std::size_t added = dst.OrAndInPlaceCountNew(a, b, &newly);
+    EXPECT_EQ(dst, want);
+    EXPECT_EQ(added, dst.Count() - before);
+    // Recorded bits are exactly dst \ old-dst.
+    EXPECT_EQ(newly.Count(), added);
+    EXPECT_TRUE(newly.IsSubsetOf(dst));
+  }
+}
+
+TEST(BitsetTest, OrWithMatchesUnionWith) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 1 + rng.Below(200);  // straddles word boundaries
+    DynamicBitset a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Below(3) == 0) a.Set(i);
+      if (rng.Below(3) == 0) b.Set(i);
+    }
+    DynamicBitset want = a;
+    want.UnionWith(b);
+    a.OrWith(b);
+    EXPECT_EQ(a, want);
+  }
+}
+
+TEST(BitsetTest, CountNewKernelsOnZeroLengthSets) {
+  DynamicBitset a(0), b(0), newly(0);
+  EXPECT_EQ(a.OrInPlaceCountNew(b), 0u);
+  EXPECT_EQ(a.OrAndInPlaceCountNew(b, b, &newly), 0u);
+  a.OrWith(b);
+  a.AndNot(b, b);
+  EXPECT_EQ(a.size(), 0u);
+  std::size_t lo = 99, hi = 99;
+  EXPECT_FALSE(a.NonZeroWordSpan(&lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 0u);
+}
+
+TEST(BitsetTest, AndNotComputesDifference) {
+  DynamicBitset a(130), b(130), out(130);
+  for (std::size_t i = 0; i < 130; i += 2) a.Set(i);
+  for (std::size_t i = 0; i < 130; i += 3) b.Set(i);
+  out.Set(77);  // stale contents must be overwritten
+  out.AndNot(a, b);
+  DynamicBitset want = a;
+  want.SubtractWith(b);
+  EXPECT_EQ(out, want);
+  EXPECT_FALSE(out.Test(77));
+}
+
+TEST(BitsetTest, NonZeroWordSpanBracketsOccupiedWords) {
+  DynamicBitset b(300);  // 5 words
+  std::size_t lo = 0, hi = 0;
+  EXPECT_FALSE(b.NonZeroWordSpan(&lo, &hi));
+  b.Set(70);   // word 1
+  b.Set(190);  // word 2
+  EXPECT_TRUE(b.NonZeroWordSpan(&lo, &hi));
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 3u);
+  EXPECT_EQ(b.num_words(), 5u);
+  EXPECT_EQ(b.word(1), uint64_t{1} << (70 - 64));
+  b.Set(0);
+  b.Set(299);
+  EXPECT_TRUE(b.NonZeroWordSpan(&lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 5u);
 }
 
 TEST(BitsetTest, EqualityAndHash) {
