@@ -24,20 +24,36 @@
 //                       exceeds it reports "undecided: ..." with partial
 //                       stats instead of running unbounded
 //   --max-arcs <n>      arc budget for the ALG closure (memory proxy)
+//   --snapshot-dir <d>  durability: keep closure.snap + closure.wal in
+//                       <d> (created if absent); recovery runs at startup
+//                       and a summary line goes to stderr
+//   --journal <path>    journal-only durability (no snapshot) at <path>;
+//                       with --snapshot-dir, overrides the journal path
+//   --checkpoint-every <n>  rewrite the snapshot every n accepted PDs
+//                       (default 32; 0 = only the explicit 'checkpoint'
+//                       command)
+//
+// With durability enabled, 'pd'/'fd' append to the write-ahead journal
+// (fsync) before applying, so an acknowledged constraint survives kill -9
+// at any instant; 'implies' reuses the recovered warm engine instead of
+// rebuilding the closure per query.
 //
 // The process exit code distinguishes outcomes (see ExitCodeFor):
 // 0 ok, 2 invalid input, 6 resource budget exhausted, 7 inconsistent
-// verdict, 9 cancelled, 1 reserved for non-Status failures (e.g. an
-// unreadable script file). With multiple failing commands in one script,
-// the LAST error wins.
+// verdict, 9 cancelled, 10 durable-artifact data loss, 11 I/O failure,
+// 1 reserved for non-Status failures (e.g. an unreadable script file).
+// With multiple failing commands in one script, the LAST error wins.
 //
 // Run: ./build/examples/psem_cli   (then type commands)
 //      echo "pd A <= B\nimplies A*C <= B*C" | ./build/examples/psem_cli
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -55,6 +71,9 @@ struct Session {
   uint64_t deadline_ms = 0;  // 0 = no deadline
   uint64_t max_arcs = 0;     // 0 = no arc budget
   Status last_error;         // drives the process exit code
+  // Set when --snapshot-dir/--journal is given: every accepted PD is
+  // journaled before it is applied, and 'implies' reuses the warm engine.
+  std::optional<DurablePdEngine> durable;
 
   // Fresh context per command: the deadline is relative to the command's
   // start, not the session's.
@@ -81,6 +100,22 @@ struct Session {
     last_error = st;
   }
 
+  // Routes a new constraint through the durable engine when enabled
+  // (journal fsync happens before the constraint is applied).
+  bool AcceptPd(const Pd& pd) {
+    if (durable) {
+      Status st = durable->AddPd(pd, Ctx());
+      if (!st.ok()) {
+        ShowStatusError(st);
+        return false;
+      }
+      pds = durable->engine().constraints();
+      return true;
+    }
+    pds.push_back(pd);
+    return true;
+  }
+
   void Handle(const std::string& raw) {
     std::string_view line = StripAsciiWhitespace(raw);
     if (line.empty() || line[0] == '#') return;
@@ -94,7 +129,7 @@ struct Session {
     if (starts("pd ")) {
       auto pd = arena.ParsePd(rest_after(3));
       if (!pd.ok()) return ShowStatusError(pd.status());
-      pds.push_back(*pd);
+      if (!AcceptPd(*pd)) return;
       std::set<AttrId> attrs;
       arena.CollectAttrs(pd->lhs, &attrs);
       arena.CollectAttrs(pd->rhs, &attrs);
@@ -104,19 +139,37 @@ struct Session {
       auto fd = Fd::Parse(&db.universe(), rest_after(3));
       if (!fd.ok()) return ShowStatusError(fd.status());
       Pd fpd = FdToFpd(db.universe(), &arena, *fd);
-      pds.push_back(fpd);
+      if (!AcceptPd(fpd)) return;
       std::printf("E%zu: %s   (FPD for %s)\n", pds.size(),
                   arena.ToString(fpd).c_str(),
                   fd->ToString(db.universe()).c_str());
     } else if (starts("implies ")) {
       auto pd = arena.ParsePd(rest_after(8));
       if (!pd.ok()) return ShowStatusError(pd.status());
+      if (durable) {
+        // The recovered engine stays warm across queries; only the
+        // query's two vertices are new work.
+        auto verdict = durable->engine().Implies(*pd, Ctx());
+        if (!verdict.ok()) {
+          return ShowUndecided(verdict.status(), durable->engine().stats());
+        }
+        std::printf("%s\n", *verdict ? "implied" : "not implied");
+        return;
+      }
       PdImplicationEngine engine(&arena, pds);
       auto verdict = engine.Implies(*pd, Ctx());
       if (!verdict.ok()) {
         return ShowUndecided(verdict.status(), engine.stats());
       }
       std::printf("%s\n", *verdict ? "implied" : "not implied");
+    } else if (line == "checkpoint") {
+      if (!durable) {
+        std::printf("durability is not enabled (--snapshot-dir)\n");
+        return;
+      }
+      Status st = durable->Checkpoint(Ctx());
+      if (!st.ok()) return ShowStatusError(st);
+      std::printf("checkpoint written\n");
     } else if (starts("explain ")) {
       auto pd = arena.ParsePd(rest_after(8));
       if (!pd.ok()) return ShowStatusError(pd.status());
@@ -239,7 +292,7 @@ struct Session {
       std::printf(
           "commands: pd, fd, implies, explain, counter, identity, simplify,\n"
           "          relation, row, csvfile, discover, query, analyze,\n"
-          "          consistent, materialize, show, quit\n");
+          "          consistent, materialize, checkpoint, show, quit\n");
     } else if (line == "quit" || line == "exit") {
       std::exit(ExitCodeFor(last_error.code()));
     } else {
@@ -254,6 +307,9 @@ struct Session {
 int main(int argc, char** argv) {
   Session session;
   std::string script_path;
+  std::string snapshot_dir;
+  std::string journal_path;
+  uint64_t checkpoint_every = 32;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     auto flag_value = [&](std::string_view name,
@@ -283,11 +339,34 @@ int main(int argc, char** argv) {
       *out = v;
       return true;
     };
+    auto string_flag = [&](std::string_view name,
+                           std::string* out) -> bool {  // --name V | --name=V
+      if (arg.rfind(name, 0) != 0) return false;
+      std::string_view rest = arg.substr(name.size());
+      if (rest.empty()) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%.*s requires a value\n",
+                       static_cast<int>(name.size()), name.data());
+          std::exit(1);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      if (rest[0] == '=') {
+        *out = std::string(rest.substr(1));
+        return true;
+      }
+      return false;
+    };
     if (flag_value("--deadline-ms", &session.deadline_ms)) continue;
     if (flag_value("--max-arcs", &session.max_arcs)) continue;
+    if (flag_value("--checkpoint-every", &checkpoint_every)) continue;
+    if (string_flag("--snapshot-dir", &snapshot_dir)) continue;
+    if (string_flag("--journal", &journal_path)) continue;
     if (arg == "--help" || arg == "-h") {
       std::printf("usage: psem_cli [--deadline-ms N] [--max-arcs N] "
-                  "[script]\n");
+                  "[--snapshot-dir D] [--journal PATH] "
+                  "[--checkpoint-every N] [script]\n");
       return 0;
     }
     if (!script_path.empty()) {
@@ -295,6 +374,49 @@ int main(int argc, char** argv) {
       return 1;
     }
     script_path = arg;
+  }
+
+  if (!snapshot_dir.empty() || !journal_path.empty()) {
+    DurabilityOptions opts;
+    if (!snapshot_dir.empty()) {
+      ::mkdir(snapshot_dir.c_str(), 0777);  // best effort; Recover reports
+      opts.snapshot_path = snapshot_dir + "/closure.snap";
+      if (journal_path.empty()) journal_path = snapshot_dir + "/closure.wal";
+    }
+    opts.journal_path = journal_path;
+    opts.checkpoint_every = static_cast<std::size_t>(checkpoint_every);
+    auto recovered = DurablePdEngine::Recover(&session.arena, {},
+                                              std::move(opts), session.Ctx());
+    if (!recovered.ok()) {
+      // A hard recovery failure (e.g. corrupt journal header) must not be
+      // papered over: refusing to start beats silently dropping accepted
+      // constraints.
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return ExitCodeFor(recovered.status().code());
+    }
+    session.durable.emplace(std::move(*recovered));
+    session.pds = session.durable->engine().constraints();
+    const RecoveryStats& rs = session.durable->recovery();
+    // stderr so scripted stdout stays byte-comparable with a
+    // durability-free run of the same commands.
+    std::fprintf(stderr,
+                 "recovery: tier=%s constraints=%zu journal_records=%zu "
+                 "replayed=%zu snapshot_vertices=%zu snapshot_arcs=%llu%s%s\n",
+                 RecoveryTierName(rs.tier), session.pds.size(),
+                 rs.journal_records, rs.journal_replayed_new,
+                 rs.restored_vertices,
+                 static_cast<unsigned long long>(rs.restored_arcs),
+                 rs.snapshot_error.empty() ? "" : " snapshot_error=",
+                 rs.snapshot_error.c_str());
+    for (const Pd& pd : session.pds) {
+      std::set<AttrId> attrs;
+      session.arena.CollectAttrs(pd.lhs, &attrs);
+      session.arena.CollectAttrs(pd.rhs, &attrs);
+      for (AttrId a : attrs) {
+        session.db.universe().Intern(session.arena.AttrName(a));
+      }
+    }
   }
 
   std::istream* in = &std::cin;

@@ -211,6 +211,20 @@ Status PdImplicationEngine::ComputeClosure(const ExecContext& ctx) {
     // Abort resume over an unchanged V: a pure warm start.
     ++stats_.incremental_closures;
   }
+  // Constraints accepted by AddConstraint since the last closure: plant
+  // their arcs through the delta state so the fixpoint consumes them like
+  // any seed. Idempotent against the cold path above (which already
+  // seeded all of constraints_, pending included). Cleared only now —
+  // an abort at the entry checks leaves them pending for the next call.
+  if (!pending_constraints_.empty()) {
+    for (const Pd& pd : pending_constraints_) {
+      uint32_t l = vertex_of_.at(pd.lhs);
+      uint32_t r = vertex_of_.at(pd.rhs);
+      TrySetArc(l, r);
+      if (pd.is_equation) TrySetArc(r, l);
+    }
+    pending_constraints_.clear();
+  }
   stats_.seed_seconds += SecondsSince(closure_start);
 
   stats_.pass_arc_delta.clear();
@@ -821,6 +835,143 @@ Status PdImplicationEngine::Prepare(const std::vector<ExprId>& exprs,
   for (ExprId e : exprs) AddVertex(e);
   if (!closure_valid_) PSEM_RETURN_IF_ERROR(ComputeClosure(ctx));
   return Status::OK();
+}
+
+void PdImplicationEngine::AddConstraint(const Pd& pd) {
+  for (const Pd& existing : constraints_) {
+    if (existing == pd) return;
+  }
+  AddVertex(pd.lhs);
+  AddVertex(pd.rhs);
+  constraints_.push_back(pd);
+  pending_constraints_.push_back(pd);
+  closure_valid_ = false;
+  // Cached verdicts were proved under the smaller E; a larger E can only
+  // add implications, but "not implied" answers may flip, so drop all.
+  lru_.clear();
+  cache_.clear();
+}
+
+Status PdImplicationEngine::AddConstraint(const Pd& pd,
+                                          const ExecContext& ctx) {
+  for (const Pd& existing : constraints_) {
+    if (existing == pd) return Status::OK();
+  }
+  if (ctx.max_vertices() != 0) {
+    std::set<ExprId> seen;
+    std::size_t added = CountNewVertices(pd.lhs, &seen) +
+                        CountNewVertices(pd.rhs, &seen);
+    PSEM_RETURN_IF_ERROR(ctx.CheckVertices(vertices_.size() + added));
+  }
+  PSEM_RETURN_IF_ERROR(ctx.Check());
+  AddConstraint(pd);
+  return Status::OK();
+}
+
+Result<PdImplicationEngine::EngineClosureState>
+PdImplicationEngine::ExportClosureState() const {
+  EngineClosureState state;
+  state.arc_count = arc_count_;
+  state.seeded_vertices = seeded_vertices_;
+  state.closure_valid = closure_valid_;
+  state.pending_constraints = pending_constraints_;
+  // Only the seeded prefix has rows; vertices beyond it carry no closure
+  // state yet (their seeding re-runs after restore).
+  state.up.assign(up_.begin(), up_.begin() + seeded_vertices_);
+  state.delta_up.assign(delta_up_.begin(),
+                        delta_up_.begin() + seeded_vertices_);
+  return state;
+}
+
+Status PdImplicationEngine::RestoreClosureState(EngineClosureState state) {
+  // Validate before touching anything: a snapshot is an untrusted
+  // artifact (its checksums prove the bytes, not the semantics).
+  const std::size_t m = state.seeded_vertices;
+  if (m > vertices_.size()) {
+    return Status::FailedPrecondition(
+        "closure state covers " + std::to_string(m) +
+        " vertices but the engine has only " +
+        std::to_string(vertices_.size()));
+  }
+  if (state.up.size() != m || state.delta_up.size() != m) {
+    return Status::DataLoss("closure state row count mismatch");
+  }
+  uint64_t audit = 0;
+  bool any_delta = false;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (state.up[i].size() != m || state.delta_up[i].size() != m) {
+      return Status::DataLoss("closure state row width mismatch");
+    }
+    if (!state.delta_up[i].IsSubsetOf(state.up[i])) {
+      return Status::DataLoss("closure state frontier not within arcs");
+    }
+    audit += state.up[i].Count();
+    any_delta |= state.delta_up[i].Any();
+  }
+  if (audit != state.arc_count) {
+    return Status::DataLoss("closure state arc count mismatch");
+  }
+  if (state.closure_valid && (any_delta || !state.pending_constraints.empty())) {
+    return Status::DataLoss("closure state marked valid with pending work");
+  }
+  for (const Pd& pd : state.pending_constraints) {
+    if (!vertex_of_.count(pd.lhs) || !vertex_of_.count(pd.rhs)) {
+      return Status::DataLoss("pending constraint over unknown vertex");
+    }
+  }
+
+  up_ = std::move(state.up);
+  delta_up_ = std::move(state.delta_up);
+  arc_count_ = state.arc_count;
+  seeded_vertices_ = m;
+  pending_constraints_ = std::move(state.pending_constraints);
+  // Rebuild the derived structures. dirty = rows with a nonempty
+  // frontier; down = transpose of the consumed arcs (up & ~delta),
+  // serial engines only.
+  dirty_rows_ = DynamicBitset(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (delta_up_[i].Any()) dirty_rows_.Set(i);
+  }
+  if (!pool_) {
+    down_.assign(m, DynamicBitset(m));
+    DynamicBitset consumed(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      consumed.AndNot(up_[i], delta_up_[i]);
+      consumed.ForEach([&](std::size_t j) { down_[j].Set(i); });
+    }
+  } else {
+    down_.clear();
+  }
+  // Vertices beyond the seeded prefix (if the caller Prepared extra
+  // expressions before restoring) re-seed at the next closure.
+  closure_valid_ = state.closure_valid && m == vertices_.size();
+  lru_.clear();
+  cache_.clear();
+  return Status::OK();
+}
+
+Status PdImplicationEngine::RestoreEngineState(
+    const std::vector<ExprId>& vertex_order, std::vector<Pd> constraints,
+    EngineClosureState state) {
+  if (!vertices_.empty() || seeded_vertices_ != 0) {
+    return Status::FailedPrecondition(
+        "RestoreEngineState requires a freshly constructed engine");
+  }
+  for (std::size_t i = 0; i < vertex_order.size(); ++i) {
+    AddVertex(vertex_order[i]);
+    // AddVertex assigns index i exactly when the order is children-first
+    // and duplicate-free; anything else is a malformed snapshot.
+    if (vertices_.size() != i + 1 || vertices_[i] != vertex_order[i]) {
+      return Status::DataLoss("snapshot vertex order is not children-first");
+    }
+  }
+  for (const Pd& pd : constraints) {
+    if (!vertex_of_.count(pd.lhs) || !vertex_of_.count(pd.rhs)) {
+      return Status::DataLoss("snapshot constraint over unknown vertex");
+    }
+  }
+  constraints_ = std::move(constraints);
+  return RestoreClosureState(std::move(state));
 }
 
 bool PdImplicationEngine::LeqInClosure(ExprId e1, ExprId e2) const {

@@ -187,6 +187,17 @@ class PdImplicationEngine {
   void Prepare(const std::vector<ExprId>& exprs);
   Status Prepare(const std::vector<ExprId>& exprs, const ExecContext& ctx);
 
+  /// Grows E by one constraint without rebuilding the engine. Sound as a
+  /// warm start: every arc of the old closure is a consequence of the old
+  /// E, hence of the larger E (arc rules are monotone in E). The new
+  /// constraint's arcs are planted at the next closure; the LRU query
+  /// cache is dropped, because cached verdicts are V-independent only for
+  /// a FIXED E — a larger E can flip "not implied" to "implied".
+  /// Idempotent: re-adding a constraint already in E is a no-op.
+  void AddConstraint(const Pd& pd);
+  /// Governed variant: enforces ctx's vertex budget before mutating V.
+  Status AddConstraint(const Pd& pd, const ExecContext& ctx);
+
   /// Arc lookup in the computed closure. Both expressions must have been
   /// passed to Prepare (or appear in the constraints). Safe to call from
   /// several threads concurrently (pure read).
@@ -196,6 +207,54 @@ class PdImplicationEngine {
   const std::vector<Pd>& constraints() const { return constraints_; }
   const ExprArena& arena() const { return *arena_; }
   const EngineOptions& options() const { return options_; }
+  /// V in insertion order (children before parents). Index i here is the
+  /// row/column index of the arc matrices — the order a snapshot must
+  /// reproduce for RestoreClosureState.
+  const std::vector<ExprId>& vertices() const { return vertices_; }
+
+  /// The engine's closure state, detached from any particular process:
+  /// everything the semi-naive fixpoint needs to resume — the arc rows,
+  /// the unconsumed frontier, the exact arc counter, how far seeding got,
+  /// and any constraints accepted but not yet closed over. dirty_rows_
+  /// and down_ are deliberately absent: both are derivable (dirty = rows
+  /// with a nonempty delta; down = transpose of the consumed arcs).
+  struct EngineClosureState {
+    std::vector<DynamicBitset> up;
+    std::vector<DynamicBitset> delta_up;
+    uint64_t arc_count = 0;
+    uint64_t seeded_vertices = 0;
+    bool closure_valid = false;
+    std::vector<Pd> pending_constraints;
+  };
+
+  /// Copies out the closure state for snapshotting. Callable at rest or
+  /// mid-abort (a partial closure is a sound warm start); fails with
+  /// kFailedPrecondition only if no closure was ever started while V is
+  /// nonempty in a way the state cannot express (seeding got ahead of V
+  /// is impossible; V ahead of seeding simply exports the seeded prefix).
+  Result<EngineClosureState> ExportClosureState() const;
+
+  /// Replaces the engine's closure state with `state`, after verifying it
+  /// is internally consistent with this engine's V (row count and widths
+  /// match seeded_vertices, delta ⊆ up per row, arc_count == |up|,
+  /// closure_valid implies an empty frontier). The engine's V must
+  /// already cover at least `state.seeded_vertices` vertices in the
+  /// exported order. Rebuilds the derived structures (dirty worklist,
+  /// down_ transpose) and drops the query cache. On any validation
+  /// failure the engine is left untouched and kDataLoss /
+  /// kFailedPrecondition is returned.
+  Status RestoreClosureState(EngineClosureState state);
+
+  /// Full restore for a freshly constructed engine (built with an empty
+  /// constraint list): re-adds `vertex_order` verbatim — valid whenever
+  /// the order is children-first, which vertices() guarantees — installs
+  /// `constraints` as E, then applies RestoreClosureState. The one entry
+  /// point snapshot recovery needs: it reproduces the exact row indices
+  /// of the engine that was snapshotted, including vertices introduced by
+  /// queries rather than constraints.
+  Status RestoreEngineState(const std::vector<ExprId>& vertex_order,
+                            std::vector<Pd> constraints,
+                            EngineClosureState state);
 
  private:
   void AddVertex(ExprId e);
@@ -241,6 +300,10 @@ class PdImplicationEngine {
 
   const ExprArena* arena_;
   std::vector<Pd> constraints_;
+  // Constraints accepted by AddConstraint whose arcs have not yet been
+  // planted; consumed (and cleared) by the next ComputeClosure's seed
+  // phase. Survives aborted closures that stop before seeding.
+  std::vector<Pd> pending_constraints_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // created iff num_threads > 1
 

@@ -36,6 +36,7 @@
 #include "core/normalize.h"
 #include "core/proof.h"
 #include "core/semigroup.h"
+#include "core/snapshot.h"
 #include "core/theory.h"
 #include "discovery/discovery.h"
 #include "graph/graph.h"

@@ -209,6 +209,20 @@ class DynamicBitset {
     return words_[k];
   }
 
+  /// Overwrites backing word k. Bits beyond size() are masked off, so a
+  /// deserializer cannot smuggle stray tail bits into Count()/Any().
+  /// Returns false (leaving the word unchanged) iff the input had such
+  /// bits — callers on untrusted boundaries treat that as corruption.
+  bool set_word(std::size_t k, uint64_t w) {
+    assert(k < words_.size());
+    if (k + 1 == words_.size()) {
+      std::size_t tail = num_bits_ & 63;
+      if (tail != 0 && (w & ~((uint64_t{1} << tail) - 1)) != 0) return false;
+    }
+    words_[k] = w;
+    return true;
+  }
+
   /// Smallest half-open word range [*lo, *hi) containing every nonzero
   /// word, or false (lo == hi == 0) when the set is empty.
   bool NonZeroWordSpan(std::size_t* lo, std::size_t* hi) const {

@@ -43,6 +43,14 @@ inline constexpr const char* kChaseRound = "psem.chase.round";
 inline constexpr const char* kRepairRound = "psem.repair.round";
 inline constexpr const char* kNaeSearch = "psem.nae.search";
 inline constexpr const char* kCadSearch = "psem.cad.search";
+// Durable-I/O sites (util/durable_file.cc). Each simulates one physical
+// failure mode of the snapshot/journal path so every recovery tier is
+// reachable deterministically in tests (docs/robustness.md).
+inline constexpr const char* kIoTornWrite = "psem.io.torn_write";
+inline constexpr const char* kIoShortRead = "psem.io.short_read";
+inline constexpr const char* kIoBitFlip = "psem.io.bit_flip";
+inline constexpr const char* kIoFsync = "psem.io.fsync";
+inline constexpr const char* kIoRename = "psem.io.rename";
 }  // namespace failpoints
 
 /// Global registry of armed fail points.

@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }
@@ -46,6 +50,10 @@ int ExitCodeFor(StatusCode code) {
       return 8;
     case StatusCode::kCancelled:
       return 9;
+    case StatusCode::kDataLoss:
+      return 10;
+    case StatusCode::kIoError:
+      return 11;
   }
   return 1;
 }

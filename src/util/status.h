@@ -25,6 +25,8 @@ enum class StatusCode {
   kInconsistent,      ///< A consistency test failed (domain-level, not a bug).
   kInternal,          ///< Invariant violation inside the library.
   kCancelled,         ///< The caller's cancellation token was triggered.
+  kDataLoss,          ///< A durable artifact (snapshot, journal) is corrupt.
+  kIoError,           ///< The environment failed an I/O call (write/fsync/...).
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -71,6 +73,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "consistency/nae3sat.h"
 #include "consistency/repair.h"
 #include "core/implication.h"
+#include "util/durable_file.h"
 #include "util/exec_context.h"
 #include "util/failpoint.h"
 
@@ -35,7 +37,7 @@ class FailPointTest : public ::testing::Test {
 
 TEST_F(FailPointTest, CatalogListsEverySite) {
   auto catalog = FailPoints::Catalog();
-  EXPECT_EQ(catalog.size(), 7u);
+  EXPECT_EQ(catalog.size(), 12u);
   auto has = [&](const char* site) {
     for (const char* s : catalog) {
       if (std::string(s) == site) return true;
@@ -49,6 +51,11 @@ TEST_F(FailPointTest, CatalogListsEverySite) {
   EXPECT_TRUE(has(failpoints::kRepairRound));
   EXPECT_TRUE(has(failpoints::kNaeSearch));
   EXPECT_TRUE(has(failpoints::kCadSearch));
+  EXPECT_TRUE(has(failpoints::kIoTornWrite));
+  EXPECT_TRUE(has(failpoints::kIoShortRead));
+  EXPECT_TRUE(has(failpoints::kIoBitFlip));
+  EXPECT_TRUE(has(failpoints::kIoFsync));
+  EXPECT_TRUE(has(failpoints::kIoRename));
 }
 
 TEST_F(FailPointTest, ArmFireCountSemantics) {
@@ -250,10 +257,113 @@ TEST_F(FailPointTest, CadSearchSurfacesAsUndecidedInternal) {
   EXPECT_EQ(retry.consistent, cold.consistent);
 }
 
+// --- durable-I/O sites --------------------------------------------------------
+// Same contract, one layer down: an injected physical fault surfaces as a
+// clean non-OK Status, the durable artifact is never half-updated, and
+// after disarming the same operation succeeds with the same bytes a
+// fault-free run produces.
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/psem_failpoint_" + name;
+}
+
+TEST_F(FailPointTest, IoTornWriteLeavesDestinationUntouched) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const std::string path = TempPath("torn_write.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old-content").ok());
+
+  FailPoints::Arm(failpoints::kIoTornWrite, 1);
+  Status st = AtomicWriteFile(path, "new-content-that-tears");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // Atomicity: the tear hit the temp file; the destination still reads
+  // back the previous content in full.
+  auto after = ReadFileBounded(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, "old-content");
+
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(AtomicWriteFile(path, "new-content-that-tears").ok());
+  EXPECT_EQ(*ReadFileBounded(path), "new-content-that-tears");
+  ::remove(path.c_str());
+}
+
+TEST_F(FailPointTest, IoFsyncFailsAtomicWriteCleanly) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const std::string path = TempPath("fsync.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "durable").ok());
+
+  FailPoints::Arm(failpoints::kIoFsync, 1);
+  Status st = AtomicWriteFile(path, "lost-on-power-cut");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(*ReadFileBounded(path), "durable");
+
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(AtomicWriteFile(path, "lost-on-power-cut").ok());
+  EXPECT_EQ(*ReadFileBounded(path), "lost-on-power-cut");
+  ::remove(path.c_str());
+}
+
+TEST_F(FailPointTest, IoRenameFailsAtomicWriteCleanly) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const std::string path = TempPath("rename.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "v1").ok());
+
+  FailPoints::Arm(failpoints::kIoRename, 1);
+  Status st = AtomicWriteFile(path, "v2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(*ReadFileBounded(path), "v1");
+
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(AtomicWriteFile(path, "v2").ok());
+  EXPECT_EQ(*ReadFileBounded(path), "v2");
+  ::remove(path.c_str());
+}
+
+TEST_F(FailPointTest, IoShortReadDetectedByFramingThenRecovers) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const std::string path = TempPath("short_read.bin");
+  std::vector<Chunk> chunks = {Chunk{ChunkTag("TEST"), "payload-bytes"}};
+  ASSERT_TRUE(WriteChunkFile(path, 1, chunks).ok());
+
+  FailPoints::Arm(failpoints::kIoShortRead, 1);
+  auto torn = ReadChunkFile(path);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kDataLoss);
+
+  FailPoints::DisarmAll();
+  auto clean = ReadChunkFile(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->chunks.size(), 1u);
+  EXPECT_EQ(clean->chunks[0].payload, "payload-bytes");
+  ::remove(path.c_str());
+}
+
+TEST_F(FailPointTest, IoBitFlipCaughtByChecksumThenRecovers) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const std::string path = TempPath("bit_flip.bin");
+  std::vector<Chunk> chunks = {Chunk{ChunkTag("TEST"), "payload-bytes"}};
+  ASSERT_TRUE(WriteChunkFile(path, 1, chunks).ok());
+
+  FailPoints::Arm(failpoints::kIoBitFlip, 1);
+  auto flipped = ReadChunkFile(path);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.status().code(), StatusCode::kDataLoss);
+
+  FailPoints::DisarmAll();
+  auto clean = ReadChunkFile(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->chunks.size(), 1u);
+  EXPECT_EQ(clean->chunks[0].payload, "payload-bytes");
+  ::remove(path.c_str());
+}
+
 TEST_F(FailPointTest, EverySiteHasAMatrixScenario) {
   // Meta-check: a new failpoint added to the catalog without a matrix
   // scenario above must fail this count, forcing the test to grow.
-  EXPECT_EQ(FailPoints::Catalog().size(), 7u)
+  EXPECT_EQ(FailPoints::Catalog().size(), 12u)
       << "new fail point registered: add a matrix scenario to this file";
 }
 

@@ -1,0 +1,537 @@
+// Durability tests: the snapshot codec, the write-ahead journal, the
+// tiered recovery of DurablePdEngine, and a differential crash-recovery
+// sweep — random theories, a fault injected at every durable-I/O site,
+// recovery, then verdict-for-verdict comparison of the recovered closure
+// against a cold NaivePdImplication / cold-engine recompute.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/implication.h"
+#include "core/snapshot.h"
+#include "lattice/expr.h"
+#include "util/durable_file.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace psem {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/psem_snap_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    snapshot_ = dir_ + ".snapshot";
+    journal_ = dir_ + ".journal";
+    ::remove(snapshot_.c_str());
+    ::remove(journal_.c_str());
+  }
+  void TearDown() override {
+    FailPoints::DisarmAll();
+    ::remove(snapshot_.c_str());
+    ::remove(journal_.c_str());
+  }
+
+  DurabilityOptions Opts(std::size_t checkpoint_every = 2) const {
+    DurabilityOptions o;
+    o.snapshot_path = snapshot_;
+    o.journal_path = journal_;
+    o.checkpoint_every = checkpoint_every;
+    return o;
+  }
+
+  std::string dir_, snapshot_, journal_;
+};
+
+std::vector<Pd> BaseTheory(ExprArena* arena) {
+  return {*arena->ParsePd("A*B <= C"), *arena->ParsePd("C <= D+E"),
+          *arena->ParsePd("D = A+B")};
+}
+
+// --- codec round trip ---------------------------------------------------------
+
+TEST_F(SnapshotTest, EncodeDecodeRoundTripsClosureState) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  PdImplicationEngine engine(&arena, base);
+  // Queries extend V beyond the constraint subexpressions, so the
+  // snapshot must carry query-introduced vertices too.
+  engine.Implies(*arena.ParsePd("A*B <= D+E"));
+  engine.Implies(*arena.ParsePd("B*C <= A+E"));
+  const uint64_t fp = TheoryFingerprint(arena, base);
+
+  auto bytes = EncodeSnapshot(engine, fp);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  // Decode into a FRESH arena: raw ExprIds must not leak across.
+  ExprArena arena2;
+  auto snap = DecodeSnapshot(*bytes, &arena2);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->base_fingerprint, fp);
+  EXPECT_EQ(snap->vertices.size(), engine.vertices().size());
+  EXPECT_EQ(snap->constraints.size(), base.size());
+
+  PdImplicationEngine restored(&arena2, {});
+  ASSERT_TRUE(restored
+                  .RestoreEngineState(snap->vertices,
+                                      std::move(snap->constraints),
+                                      std::move(snap->state))
+                  .ok());
+  EXPECT_EQ(restored.stats().num_arcs, 0u);  // stats refill on next closure
+  // Every pairwise verdict matches the original engine.
+  for (std::size_t i = 0; i < engine.vertices().size(); ++i) {
+    for (std::size_t j = 0; j < engine.vertices().size(); ++j) {
+      EXPECT_EQ(
+          restored.ImpliesLeq(restored.vertices()[i], restored.vertices()[j]),
+          engine.ImpliesLeq(engine.vertices()[i], engine.vertices()[j]))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST_F(SnapshotTest, DecodeRejectsCorruptBytes) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  PdImplicationEngine engine(&arena, base);
+  engine.Implies(*arena.ParsePd("A <= B"));
+  auto bytes = EncodeSnapshot(engine, TheoryFingerprint(arena, base));
+  ASSERT_TRUE(bytes.ok());
+
+  {  // truncation at every prefix length must never crash or succeed oddly
+    for (std::size_t len : {std::size_t{0}, std::size_t{4}, bytes->size() / 2,
+                            bytes->size() - 1}) {
+      ExprArena scratch;
+      auto r = DecodeSnapshot(std::string_view(*bytes).substr(0, len), &scratch);
+      EXPECT_FALSE(r.ok()) << "prefix " << len;
+    }
+  }
+  {  // every single-byte flip is caught by CRC or magic check
+    for (std::size_t pos = 0; pos < bytes->size(); pos += 7) {
+      std::string corrupt = *bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+      ExprArena scratch;
+      auto r = DecodeSnapshot(corrupt, &scratch);
+      EXPECT_FALSE(r.ok()) << "flip at " << pos;
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "flip at " << pos;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, FingerprintDistinguishesTheories) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  auto other = BaseTheory(&arena);
+  other.push_back(*arena.ParsePd("A <= E"));
+  EXPECT_EQ(TheoryFingerprint(arena, base), TheoryFingerprint(arena, base));
+  EXPECT_NE(TheoryFingerprint(arena, base), TheoryFingerprint(arena, other));
+  EXPECT_NE(TheoryFingerprint(arena, base), TheoryFingerprint(arena, {}));
+}
+
+// --- journal ------------------------------------------------------------------
+
+TEST_F(SnapshotTest, JournalAppendsSurviveReopen) {
+  {
+    auto j = Journal::Open(journal_);
+    ASSERT_TRUE(j.ok()) << j.status().ToString();
+    EXPECT_EQ(j->recovered().records.size(), 0u);
+    ASSERT_TRUE(j->Append("A <= B").ok());
+    ASSERT_TRUE(j->Append("C = D*E").ok());
+  }
+  auto j = Journal::Open(journal_);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j->recovered().records.size(), 2u);
+  EXPECT_EQ(j->recovered().records[0], "A <= B");
+  EXPECT_EQ(j->recovered().records[1], "C = D*E");
+  EXPECT_FALSE(j->recovered().tail_truncated);
+}
+
+TEST_F(SnapshotTest, JournalTornTailIsTruncatedAtLastValidRecord) {
+  {
+    auto j = Journal::Open(journal_);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j->Append("A <= B").ok());
+    ASSERT_TRUE(j->Append("B <= C").ok());
+  }
+  // Simulate a crash mid-append: raw garbage (half a frame) at the tail.
+  {
+    std::FILE* f = std::fopen(journal_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x50\x4a\x52\x4e\xff\xff";
+    std::fwrite(garbage, 1, sizeof(garbage) - 1, f);
+    std::fclose(f);
+  }
+  auto j = Journal::Open(journal_);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_TRUE(j->recovered().tail_truncated);
+  EXPECT_GT(j->recovered().bytes_dropped, 0u);
+  ASSERT_EQ(j->recovered().records.size(), 2u);
+  EXPECT_EQ(j->recovered().records[1], "B <= C");
+
+  // The repair is physical: appends extend a valid prefix, and the next
+  // open sees all three records with no tear.
+  ASSERT_TRUE(j->Append("C <= D").ok());
+  auto j2 = Journal::Open(journal_);
+  ASSERT_TRUE(j2.ok());
+  EXPECT_FALSE(j2->recovered().tail_truncated);
+  ASSERT_EQ(j2->recovered().records.size(), 3u);
+  EXPECT_EQ(j2->recovered().records[2], "C <= D");
+}
+
+TEST_F(SnapshotTest, JournalRejectsCorruptHeader) {
+  ASSERT_TRUE(AtomicWriteFile(journal_, "NOTAJRNL").ok());
+  auto j = Journal::Open(journal_);
+  ASSERT_FALSE(j.ok());
+  EXPECT_EQ(j.status().code(), StatusCode::kDataLoss);
+}
+
+// --- DurablePdEngine lifecycle ------------------------------------------------
+
+TEST_F(SnapshotTest, ColdStartThenCleanRestore) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  Pd extra = *arena.ParsePd("E <= A+C");
+  Pd query = *arena.ParsePd("A*B <= D+E");
+  bool expected;
+  {
+    auto d = DurablePdEngine::Recover(&arena, base, Opts());
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_EQ(d->recovery().tier, RecoveryTier::kColdStart);
+    ASSERT_TRUE(d->AddPd(extra, ExecContext::Unbounded()).ok());
+    ASSERT_TRUE(d->Checkpoint(ExecContext::Unbounded()).ok());
+    expected = d->engine().Implies(query);
+  }
+  // "Crash" (drop the object) and recover in a fresh arena.
+  ExprArena arena2;
+  auto base2 = BaseTheory(&arena2);
+  auto d = DurablePdEngine::Recover(&arena2, base2, Opts());
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->recovery().tier, RecoveryTier::kCleanRestore);
+  EXPECT_TRUE(d->recovery().snapshot_restored);
+  EXPECT_GT(d->recovery().restored_vertices, 0u);
+  // The journaled constraint is already in the snapshot: replay is a no-op.
+  EXPECT_EQ(d->recovery().journal_records, 1u);
+  EXPECT_EQ(d->recovery().journal_replayed_new, 0u);
+  EXPECT_EQ(d->engine().Implies(*arena2.ParsePd("A*B <= D+E")), expected);
+  EXPECT_EQ(d->engine().constraints().size(), base.size() + 1);
+}
+
+TEST_F(SnapshotTest, JournalAloneRecoversUncheckpointedConstraints) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  {
+    DurabilityOptions opts = Opts(/*checkpoint_every=*/0);  // never snapshot
+    auto d = DurablePdEngine::Recover(&arena, base, opts);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d->AddPd(*arena.ParsePd("E <= A"), ExecContext::Unbounded()).ok());
+    ASSERT_TRUE(d->AddPd(*arena.ParsePd("C = A*D"), ExecContext::Unbounded()).ok());
+  }
+  ExprArena arena2;
+  auto base2 = BaseTheory(&arena2);
+  auto d = DurablePdEngine::Recover(&arena2, base2, Opts());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->recovery().tier, RecoveryTier::kColdStart);
+  EXPECT_EQ(d->recovery().journal_replayed_new, 2u);
+  EXPECT_EQ(d->engine().constraints().size(), base.size() + 2);
+}
+
+TEST_F(SnapshotTest, MismatchedBaseTheoryDegradesToColdRecompute) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  {
+    auto d = DurablePdEngine::Recover(&arena, base, Opts());
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d->AddPd(*arena.ParsePd("E <= A"), ExecContext::Unbounded()).ok());
+    ASSERT_TRUE(d->Checkpoint(ExecContext::Unbounded()).ok());
+  }
+  // Recover under a DIFFERENT base theory: the snapshot must be rejected
+  // (its closure encodes consequences of the old E) and the engine
+  // rebuilt cold from the new base + journal.
+  ExprArena arena2;
+  std::vector<Pd> other = {*arena2.ParsePd("A <= B")};
+  auto d = DurablePdEngine::Recover(&arena2, other, Opts());
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->recovery().tier, RecoveryTier::kColdRecompute);
+  EXPECT_FALSE(d->recovery().snapshot_restored);
+  EXPECT_NE(d->recovery().snapshot_error.find("base theory"),
+            std::string::npos);
+  // Journal still replays on top of the new base.
+  EXPECT_EQ(d->recovery().journal_replayed_new, 1u);
+  EXPECT_EQ(d->engine().constraints().size(), 2u);
+}
+
+TEST_F(SnapshotTest, RecoveryStatsReportEveryTier) {
+  // Tier names are part of the CLI contract (recovery summary line).
+  EXPECT_STREQ(RecoveryTierName(RecoveryTier::kColdStart), "cold-start");
+  EXPECT_STREQ(RecoveryTierName(RecoveryTier::kCleanRestore),
+               "clean-restore");
+  EXPECT_STREQ(RecoveryTierName(RecoveryTier::kJournalTailTruncated),
+               "journal-tail-truncated");
+  EXPECT_STREQ(RecoveryTierName(RecoveryTier::kColdRecompute),
+               "cold-recompute");
+}
+
+// --- differential crash recovery ----------------------------------------------
+
+#define SKIP_WITHOUT_FAILPOINTS()                                     \
+  if (!FailPoints::Enabled()) {                                       \
+    GTEST_SKIP() << "fail points compiled out (PSEM_FAILPOINTS=OFF)"; \
+  }
+
+ExprId RandExpr(ExprArena* arena, Rng* rng, int num_attrs, int ops) {
+  if (ops == 0) {
+    return arena->Attr(
+        std::string(1, static_cast<char>('A' + rng->Below(num_attrs))));
+  }
+  int left = static_cast<int>(rng->Below(static_cast<uint64_t>(ops)));
+  ExprId l = RandExpr(arena, rng, num_attrs, left);
+  ExprId r = RandExpr(arena, rng, num_attrs, ops - 1 - left);
+  return rng->Chance(1, 2) ? arena->Product(l, r) : arena->Sum(l, r);
+}
+
+Pd RandPd(ExprArena* arena, Rng* rng) {
+  ExprId l = RandExpr(arena, rng, 4, static_cast<int>(rng->Below(3)));
+  ExprId r = RandExpr(arena, rng, 4, static_cast<int>(rng->Below(3)));
+  return rng->Chance(1, 2) ? Pd::Eq(l, r) : Pd::Leq(l, r);
+}
+
+// One crash-recovery trial: grow a random theory through the durable
+// engine with `crash_site` armed to fire once mid-stream, drop the
+// engine wherever the fault left it, recover, finish the stream, and
+// differential-check every vertex-pair verdict against a cold engine —
+// with NaivePdImplication re-checking a sample as the ground truth.
+void CrashRecoveryTrial(uint64_t seed, const char* crash_site,
+                        const std::string& snapshot_path,
+                        const std::string& journal_path) {
+  SCOPED_TRACE(std::string("site=") + (crash_site ? crash_site : "none") +
+               " seed=" + std::to_string(seed));
+  Rng rng(seed);
+  ::remove(snapshot_path.c_str());
+  ::remove(journal_path.c_str());
+
+  DurabilityOptions opts;
+  opts.snapshot_path = snapshot_path;
+  opts.journal_path = journal_path;
+  opts.checkpoint_every = 2;
+
+  ExprArena arena;
+  std::vector<Pd> base = {RandPd(&arena, &rng), RandPd(&arena, &rng)};
+  const int num_deltas = 6;
+  std::vector<Pd> accepted;  // every constraint the durable engine ACKed
+
+  {
+    auto d = DurablePdEngine::Recover(&arena, base, opts);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    for (int i = 0; i < num_deltas; ++i) {
+      if (crash_site != nullptr && i == num_deltas / 2) {
+        FailPoints::Arm(crash_site, 1);
+      }
+      Pd pd = RandPd(&arena, &rng);
+      Status st = d->AddPd(pd, ExecContext::Unbounded());
+      if (st.ok()) {
+        accepted.push_back(pd);
+      } else {
+        // A failed accept is a clean rejection: the constraint is not
+        // part of E and recovery must not resurrect it... unless the
+        // fault hit AFTER the journal append (fsync tear), where the
+        // record may legally survive. Re-accept it below to keep the
+        // reference theory unambiguous.
+        Status retry = d->AddPd(pd, ExecContext::Unbounded());
+        ASSERT_TRUE(retry.ok()) << retry.ToString();
+        accepted.push_back(pd);
+      }
+      // Interleave queries so V outgrows the constraint subexpressions.
+      if (i % 2 == 0) d->engine().Implies(RandPd(&arena, &rng));
+    }
+    FailPoints::DisarmAll();
+    // Crash: the object is dropped with whatever the fault left on disk.
+  }
+
+  // Recover and finish: every acked constraint must still be in E.
+  auto recovered = DurablePdEngine::Recover(&arena, base, opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  for (const Pd& pd : accepted) {
+    bool present = false;
+    for (const Pd& c : recovered->engine().constraints()) {
+      if (c == pd) {
+        present = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(present) << "acked constraint lost across crash recovery";
+  }
+
+  // Differential closure check: cold engine over base + accepted.
+  std::vector<Pd> full = base;
+  full.insert(full.end(), accepted.begin(), accepted.end());
+  PdImplicationEngine cold(&arena, full);
+  const std::vector<ExprId> all_verts = recovered->engine().vertices();
+  recovered->engine().Prepare(all_verts);
+  const auto& verts = recovered->engine().vertices();
+  int checked = 0;
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    for (std::size_t j = 0; j < verts.size(); ++j) {
+      bool warm = recovered->engine().ImpliesLeq(verts[i], verts[j]);
+      bool cold_v = cold.ImpliesLeq(verts[i], verts[j]);
+      ASSERT_EQ(warm, cold_v) << "closure diverged at pair (" << i << ", "
+                              << j << ")";
+      // Sampled ground-truth re-check against the literal rule engine.
+      if (++checked % 97 == 0) {
+        EXPECT_EQ(warm,
+                  NaivePdImplication(arena, full, Pd::Leq(verts[i], verts[j])));
+      }
+    }
+  }
+
+  ::remove(snapshot_path.c_str());
+  ::remove(journal_path.c_str());
+}
+
+TEST_F(SnapshotTest, DifferentialCrashRecoveryAtEveryIoSite) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const char* sites[] = {nullptr,  // control: no fault at all
+                         failpoints::kIoTornWrite, failpoints::kIoShortRead,
+                         failpoints::kIoBitFlip,   failpoints::kIoFsync,
+                         failpoints::kIoRename};
+  uint64_t seed = 7100;
+  for (const char* site : sites) {
+    for (int trial = 0; trial < 3; ++trial) {
+      CrashRecoveryTrial(seed++, site, snapshot_, journal_);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Corruption discovered at RECOVERY time (not accept time): the fault
+// fires on the snapshot read, recovery degrades to cold recompute, and
+// verdicts still match a cold engine.
+TEST_F(SnapshotTest, SnapshotReadFaultsDegradeToColdRecompute) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  Pd query = *arena.ParsePd("A*B <= D+E");
+  bool expected;
+  {
+    auto d = DurablePdEngine::Recover(&arena, base, Opts());
+    ASSERT_TRUE(d.ok());
+    expected = d->engine().Implies(query);
+    ASSERT_TRUE(d->Checkpoint(ExecContext::Unbounded()).ok());
+  }
+  // Recover snapshot-only (no journal path) so the one and only read of
+  // the recovery is the snapshot itself — the armed fault must hit it.
+  DurabilityOptions snap_only;
+  snap_only.snapshot_path = snapshot_;
+  for (const char* site :
+       {failpoints::kIoBitFlip, failpoints::kIoShortRead}) {
+    SCOPED_TRACE(site);
+    ExprArena arena2;
+    auto base2 = BaseTheory(&arena2);
+    FailPoints::Arm(site, 1);
+    auto d = DurablePdEngine::Recover(&arena2, base2, snap_only);
+    FailPoints::DisarmAll();
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_EQ(d->recovery().tier, RecoveryTier::kColdRecompute);
+    EXPECT_FALSE(d->recovery().snapshot_error.empty());
+    EXPECT_EQ(d->engine().Implies(*arena2.ParsePd("A*B <= D+E")), expected);
+  }
+}
+
+// A journal damaged mid-file recovers its valid prefix: point-in-time
+// recovery, the same contract RocksDB's WAL default gives. Records after
+// the damage are gone (they were sequenced after the corruption point);
+// everything before it survives and the closure matches a cold engine
+// over exactly the surviving constraints.
+TEST_F(SnapshotTest, JournalReadFaultRecoversValidPrefix) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  std::vector<Pd> deltas = {*arena.ParsePd("E <= A"), *arena.ParsePd("B <= C+D"),
+                            *arena.ParsePd("C = C*E"), *arena.ParsePd("A <= D")};
+  DurabilityOptions jrnl_only;
+  jrnl_only.journal_path = journal_;
+  {
+    auto d = DurablePdEngine::Recover(&arena, base, jrnl_only);
+    ASSERT_TRUE(d.ok());
+    for (const Pd& pd : deltas) {
+      ASSERT_TRUE(d->AddPd(pd, ExecContext::Unbounded()).ok());
+    }
+  }
+  FailPoints::Arm(failpoints::kIoShortRead, 1);
+  auto d = DurablePdEngine::Recover(&arena, base, jrnl_only);
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_LE(d->recovery().journal_records, deltas.size());
+  // The surviving records are a prefix of the appended sequence; unless
+  // the halved read happened to land exactly on a record boundary, the
+  // tear is detected and reported as the tail-truncation tier.
+  const std::size_t kept = d->recovery().journal_records;
+  if (kept < deltas.size()) {
+    EXPECT_EQ(d->recovery().tier, RecoveryTier::kJournalTailTruncated);
+    EXPECT_TRUE(d->recovery().journal_tail_truncated);
+  }
+  std::vector<Pd> full = base;
+  full.insert(full.end(), deltas.begin(), deltas.begin() + kept);
+  EXPECT_EQ(d->engine().constraints().size(), full.size());
+  PdImplicationEngine cold(&arena, full);
+  Pd probe = *arena.ParsePd("A*B <= D+E");
+  EXPECT_EQ(d->engine().Implies(probe), cold.Implies(probe));
+}
+
+// Checkpoint failures must not fail the accept path: the journal already
+// holds the record, so durability is preserved either way.
+TEST_F(SnapshotTest, CheckpointFaultDoesNotFailAddPd) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  auto d = DurablePdEngine::Recover(&arena, base, Opts(/*checkpoint_every=*/1));
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->AddPd(*arena.ParsePd("E <= A"), ExecContext::Unbounded()).ok());
+  ASSERT_TRUE(d->last_checkpoint_status().ok());
+
+  // Arm rename: the journal append succeeds (it does not rename), the
+  // auto-checkpoint's atomic write fails.
+  FailPoints::Arm(failpoints::kIoRename, 1);
+  Status st = d->AddPd(*arena.ParsePd("B <= C+D"), ExecContext::Unbounded());
+  FailPoints::DisarmAll();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_FALSE(d->last_checkpoint_status().ok());
+  EXPECT_EQ(d->last_checkpoint_status().code(), StatusCode::kIoError);
+
+  // And the constraint survives a crash via the journal.
+  ExprArena arena2;
+  auto base2 = BaseTheory(&arena2);
+  auto r = DurablePdEngine::Recover(&arena2, base2, Opts());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->engine().constraints().size(), base.size() + 2);
+}
+
+// --- incremental AddConstraint (engine-level) ---------------------------------
+
+TEST_F(SnapshotTest, AddConstraintMatchesFreshEngineAndDropsCache) {
+  ExprArena arena;
+  auto base = BaseTheory(&arena);
+  Pd query = *arena.ParsePd("E <= A+C");
+  PdImplicationEngine engine(&arena, base);
+  bool before = engine.Implies(query);
+
+  // Growing E must be able to flip a cached "not implied" verdict.
+  Pd extra = *arena.ParsePd("E = E*(A+C)");  // E <= A+C, FPD-style
+  engine.AddConstraint(extra);
+  std::vector<Pd> full = base;
+  full.push_back(extra);
+  PdImplicationEngine fresh(&arena, full);
+  EXPECT_EQ(engine.Implies(query), fresh.Implies(query));
+  EXPECT_TRUE(engine.Implies(query));
+  EXPECT_FALSE(before);
+
+  // Idempotent: re-adding changes nothing.
+  engine.AddConstraint(extra);
+  EXPECT_EQ(engine.constraints().size(), full.size());
+}
+
+}  // namespace
+}  // namespace psem

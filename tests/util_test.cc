@@ -191,6 +191,106 @@ TEST(BitsetTest, ClearFromIsBitExact) {
   }
 }
 
+// Zero-length bitsets are what a fresh engine's ExportClosureState hands
+// to the snapshot encoder; every kernel must be total on them.
+TEST(BitsetTest, ZeroLengthKernelsAreTotal) {
+  DynamicBitset a, b, c;
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.num_words(), 0u);
+  a.OrWith(b);
+  c.AndNot(a, b);
+  EXPECT_EQ(a.OrInPlaceCountNew(b), 0u);
+  EXPECT_EQ(c.OrAndInPlaceCountNew(a, b), 0u);
+  EXPECT_FALSE(a.UnionWith(b));
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_TRUE(a.None());
+  std::size_t lo = 7, hi = 7;
+  EXPECT_FALSE(a.NonZeroWordSpan(&lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 0u);
+  EXPECT_EQ(a.NextSetBit(0), 0u);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BitsetTest, OrInPlaceCountNewIsExactOnOddTailWords) {
+  DynamicBitset dst(67), src(67), newly(67);
+  dst.Set(0);
+  dst.Set(66);
+  src.Set(0);   // already present: not new
+  src.Set(65);  // tail word, new
+  src.Set(63);  // word boundary, new
+  EXPECT_EQ(dst.OrInPlaceCountNew(src, &newly), 2u);
+  EXPECT_EQ(newly.Count(), 2u);
+  EXPECT_TRUE(newly.Test(65));
+  EXPECT_TRUE(newly.Test(63));
+  EXPECT_FALSE(newly.Test(0));
+  // Second application: nothing fresh, `newly` untouched.
+  EXPECT_EQ(dst.OrInPlaceCountNew(src, &newly), 0u);
+  EXPECT_EQ(newly.Count(), 2u);
+  EXPECT_EQ(dst.Count(), 4u);
+}
+
+TEST(BitsetTest, OrAndInPlaceCountNewIsExactOnOddTailWords) {
+  DynamicBitset dst(67), a(67), b(67), newly(67);
+  a.Set(3);
+  a.Set(66);
+  b.Set(66);
+  b.Set(5);
+  dst.Set(3);
+  EXPECT_EQ(dst.OrAndInPlaceCountNew(a, b, &newly), 1u);  // only 66 is new
+  EXPECT_TRUE(dst.Test(66));
+  EXPECT_TRUE(dst.Test(3));
+  EXPECT_EQ(newly.Count(), 1u);
+  EXPECT_TRUE(newly.Test(66));
+  EXPECT_EQ(dst.OrAndInPlaceCountNew(a, b, &newly), 0u);
+}
+
+TEST(BitsetTest, SelfAliasedKernelsAreIdempotent) {
+  DynamicBitset a(130), b(130);
+  a.Set(1);
+  a.Set(64);
+  a.Set(129);
+  b.Set(64);
+  DynamicBitset orig = a;
+  a.OrWith(a);
+  EXPECT_TRUE(a == orig);
+  EXPECT_FALSE(a.UnionWith(a));
+  EXPECT_EQ(a.OrInPlaceCountNew(a), 0u);
+  EXPECT_EQ(a.OrAndInPlaceCountNew(a, a), 0u);
+  EXPECT_TRUE(a == orig);
+  // AndNot with the destination aliasing either operand.
+  DynamicBitset d1 = a;
+  d1.AndNot(d1, b);  // this == a-operand
+  EXPECT_EQ(d1.Count(), 2u);
+  EXPECT_FALSE(d1.Test(64));
+  DynamicBitset d2 = b;
+  d2.AndNot(a, d2);  // this == b-operand
+  EXPECT_EQ(d2.Count(), 2u);
+  EXPECT_TRUE(d2.Test(1));
+  EXPECT_TRUE(d2.Test(129));
+  DynamicBitset d3 = a;
+  d3.AndNot(d3, d3);  // full aliasing: x & ~x
+  EXPECT_TRUE(d3.None());
+}
+
+// set_word is the untrusted-deserialization boundary (core/snapshot.cc):
+// stray bits beyond size() must be rejected, not silently folded into
+// Count()/Any()/the engine's arc audit.
+TEST(BitsetTest, SetWordRejectsStrayTailBits) {
+  DynamicBitset b(70);  // tail word holds bits 64..69
+  EXPECT_TRUE(b.set_word(0, ~uint64_t{0}));
+  EXPECT_TRUE(b.set_word(1, 0x3F));  // all six legal bits
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_FALSE(b.set_word(1, uint64_t{1} << 6));  // first illegal bit
+  EXPECT_FALSE(b.set_word(1, ~uint64_t{0}));
+  EXPECT_EQ(b.word(1), 0x3Fu);  // rejected writes leave the word alone
+  EXPECT_EQ(b.Count(), 70u);
+  // A word-aligned size has no illegal tail positions.
+  DynamicBitset aligned(128);
+  EXPECT_TRUE(aligned.set_word(1, ~uint64_t{0}));
+  EXPECT_EQ(aligned.Count(), 64u);
+}
+
 TEST(BitsetTest, UnionWithFromRestrictsToTail) {
   for (std::size_t from : {0u, 1u, 63u, 64u, 65u, 100u, 130u}) {
     DynamicBitset dst(130), src(130);
